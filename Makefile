@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race vet bench fuzz figures testbed results clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench=. -benchmem .
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test ./internal/dataplane -fuzz FuzzUnmarshalPacket -fuzztime 30s
+	$(GO) test ./internal/topo -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/traffic -fuzz FuzzReadCSV -fuzztime 30s
+
+# Regenerate every figure at default scale into results/.
+figures:
+	$(GO) run ./cmd/mifo-sim -exp all -o results | tee results/simulation.txt
+
+testbed:
+	$(GO) run ./cmd/mifo-testbed | tee results/testbed.txt
+	$(GO) run ./cmd/mifo-testbed -packet -size-mb 20 | tee -a results/testbed.txt
+
+results: figures testbed
+
+clean:
+	rm -rf results/*.dat

@@ -1,0 +1,298 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at benchmark-friendly scale, plus ablations of MIFO's design choices.
+// Each bench reports the figure's headline quantity as a custom metric so
+// `go test -bench=. -benchmem` doubles as a miniature reproduction run;
+// cmd/mifo-sim produces the full-scale series.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/testbed"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// benchOpts keeps the per-iteration cost low enough for -bench=. runs
+// while staying in the operating regime of the full experiments (the
+// arrival rate is pinned because the auto-scaled default would saturate a
+// 400-AS core; see EXPERIMENTS.md on load sensitivity).
+var benchOpts = experiments.Options{N: 400, Flows: 1200, PairSamples: 400, ArrivalRate: 1000, Seed: 1}
+
+// BenchmarkTableI regenerates the topology data-set attributes (Table I).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.TableI(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sum
+	}
+}
+
+// BenchmarkFig7PathDiversity counts available paths per pair for MIFO and
+// MIRO at 50%/100% deployment (Fig. 7).
+func BenchmarkFig7PathDiversity(b *testing.B) {
+	var f *experiments.Fig7
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = experiments.RunFig7(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.MedianMIFO100, "median-paths-mifo")
+	b.ReportMetric(f.MedianMIRO100, "median-paths-miro")
+}
+
+// BenchmarkFig5Throughput reproduces the three deployment panels of Fig. 5
+// (uniform traffic, BGP vs MIRO vs MIFO).
+func BenchmarkFig5Throughput(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		deploy float64
+	}{
+		{"100pct", 1.0}, {"50pct", 0.5}, {"10pct", 0.1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var c *experiments.ThroughputComparison
+			var err error
+			for i := 0; i < b.N; i++ {
+				c, err = experiments.RunFig5(benchOpts, tc.deploy)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*c.AtLeast500["BGP"], "pct>=500Mbps-bgp")
+			for name, frac := range c.AtLeast500 {
+				switch {
+				case name == "BGP":
+				case len(name) > 4 && name[len(name)-4:] == "MIFO":
+					b.ReportMetric(100*frac, "pct>=500Mbps-mifo")
+				default:
+					b.ReportMetric(100*frac, "pct>=500Mbps-miro")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6PowerLaw reproduces the three skew panels of Fig. 6
+// (power-law traffic at 50% deployment).
+func BenchmarkFig6PowerLaw(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		alpha float64
+	}{
+		{"alpha0.8", 0.8}, {"alpha1.0", 1.0}, {"alpha1.2", 1.2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var c *experiments.ThroughputComparison
+			var err error
+			for i := 0; i < b.N; i++ {
+				c, err = experiments.RunFig6(benchOpts, tc.alpha)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*c.AtLeast500["BGP"], "pct>=500Mbps-bgp")
+			b.ReportMetric(100*c.AtLeast500["50% Deployed MIFO"], "pct>=500Mbps-mifo")
+		})
+	}
+}
+
+// BenchmarkFig8Offload sweeps MIFO deployment 10%..100% and reports the
+// share of flows carried on alternative paths (Fig. 8).
+func BenchmarkFig8Offload(b *testing.B) {
+	var f *experiments.Fig8
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = experiments.RunFig8(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.Rows[0].Y, "offload-pct-at-10")
+	b.ReportMetric(f.Rows[len(f.Rows)-1].Y, "offload-pct-at-100")
+}
+
+// BenchmarkFig9Stability measures the path-switch distribution (Fig. 9).
+func BenchmarkFig9Stability(b *testing.B) {
+	var f *experiments.Fig9
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = experiments.RunFig9(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*f.OnceFraction, "pct-switched-once")
+	b.ReportMetric(100*f.AtMostTwiceFraction, "pct-at-most-twice")
+}
+
+// BenchmarkFig12Testbed runs the Section V prototype experiment (Figs. 11
+// and 12) under BGP and MIFO and reports the aggregate throughputs.
+func BenchmarkFig12Testbed(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mifo bool
+	}{
+		{"BGP", false}, {"MIFO", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *testbed.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = testbed.Run(testbed.Config{MIFO: tc.mifo, FlowsPerPair: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanAggregateGbps, "aggregate-Gbps")
+			b.ReportMetric(res.FCT.Max(), "max-FCT-s")
+		})
+	}
+}
+
+// --- Ablations of the design choices DESIGN.md calls out ---
+
+// benchWorkload builds the shared ablation workload.
+func benchWorkload(b *testing.B) (*topo.Graph, []traffic.Flow) {
+	b.Helper()
+	g, err := topo.Generate(topo.GenConfig{N: benchOpts.N, Seed: benchOpts.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := traffic.Uniform(traffic.UniformConfig{
+		N: g.N(), Flows: benchOpts.Flows, ArrivalRate: benchOpts.ArrivalRate,
+		Seed: benchOpts.Seed + 300,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, flows
+}
+
+// BenchmarkAblationQuality compares the two alternative-ranking mechanisms
+// of Section III-C: end-to-end probing vs the greedy local-link monitor.
+func BenchmarkAblationQuality(b *testing.B) {
+	g, flows := benchWorkload(b)
+	for _, tc := range []struct {
+		name string
+		q    netsim.Quality
+	}{
+		{"probe", netsim.QualityProbe},
+		{"local-link", netsim.QualityLocalLink},
+		{"route-preference", netsim.QualityFirst},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *netsim.Results
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = netsim.Run(g, flows, netsim.Config{Policy: netsim.PolicyMIFO, Quality: tc.q})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanThroughputMbps(), "mean-Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationControlInterval shows why the flow-level model must
+// re-evaluate at near-line-rate granularity: MIFO's reactivity is its
+// advantage over control-plane schemes.
+func BenchmarkAblationControlInterval(b *testing.B) {
+	g, flows := benchWorkload(b)
+	for _, tc := range []struct {
+		name string
+		ci   float64
+	}{
+		{"5ms", 0.005}, {"50ms", 0.05}, {"500ms", 0.5},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *netsim.Results
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = netsim.Run(g, flows, netsim.Config{Policy: netsim.PolicyMIFO, ControlInterval: tc.ci})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanThroughputMbps(), "mean-Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationHysteresis compares the default switch-back hysteresis
+// against disabling returns entirely.
+func BenchmarkAblationHysteresis(b *testing.B) {
+	g, flows := benchWorkload(b)
+	for _, tc := range []struct {
+		name string
+		ret  float64
+	}{
+		{"return-at-0.3", 0.3}, {"never-return", 1e-9},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *netsim.Results
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = netsim.Run(g, flows, netsim.Config{Policy: netsim.PolicyMIFO, ReturnThreshold: tc.ret})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanThroughputMbps(), "mean-Mbps")
+		})
+	}
+}
+
+// BenchmarkExtResilience runs the link-failure extension experiment: the
+// busiest link fails mid-run; MIFO's data-plane failover is compared with
+// BGP/MIRO reconvergence stalls.
+func BenchmarkExtResilience(b *testing.B) {
+	opts := experiments.Options{N: 250, Flows: 600, ArrivalRate: 100, Seed: 3}
+	var r *experiments.Resilience
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunResilience(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		switch row.Policy {
+		case "BGP":
+			b.ReportMetric(row.MeanStallSec, "bgp-mean-stall-s")
+		case "MIFO":
+			b.ReportMetric(row.MeanStallSec, "mifo-mean-stall-s")
+		}
+	}
+}
+
+// BenchmarkAblationRIBParallel measures the speedup of parallel
+// per-destination BGP table computation.
+func BenchmarkAblationRIBParallel(b *testing.B) {
+	g, err := topo.Generate(topo.GenConfig{N: 2000, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsts := make([]int, 64)
+	for i := range dsts {
+		dsts[i] = (i * 31) % g.N()
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bgp.ComputeAll(g, dsts, 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bgp.ComputeAll(g, dsts, 0)
+		}
+	})
+}

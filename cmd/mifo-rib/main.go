@@ -1,0 +1,102 @@
+// mifo-rib inspects the control-plane state MIFO mines: for a (src, dst)
+// AS pair it prints the default BGP path, the source's full multi-path RIB
+// with each alternative's spliced path, and the number of forwarding paths
+// available at different deployment levels (Fig. 7's quantity for one pair).
+//
+// Usage:
+//
+//	mifo-rib -n 1000 -src 500 -dst 3
+//	mifo-rib -in topo.txt -src 10 -dst 42 -hops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bgp"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 1000, "generate a topology with this many ASes")
+		seed = flag.Int64("seed", 1, "generator seed")
+		in   = flag.String("in", "", "read a topology file instead of generating")
+		src  = flag.Int("src", 1, "source AS")
+		dst  = flag.Int("dst", 0, "destination AS")
+		hops = flag.Bool("hops", false, "also print per-hop RIBs along the default path")
+	)
+	flag.Parse()
+
+	var g *topo.Graph
+	var err error
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		g, _, err = topo.Parse(f)
+		f.Close()
+	} else {
+		g, err = topo.Generate(topo.GenConfig{N: *n, Seed: *seed})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *src < 0 || *src >= g.N() || *dst < 0 || *dst >= g.N() || *src == *dst {
+		fatal(fmt.Errorf("need distinct src/dst in [0, %d)", g.N()))
+	}
+
+	table := bgp.Compute(g, *dst)
+	if !table.Reachable(*src) {
+		fmt.Printf("AS %d has no route to AS %d\n", *src, *dst)
+		return
+	}
+
+	fmt.Printf("default path (%s route, %d hops): %v\n",
+		table.Class(*src), table.Hops(*src), table.ASPath(*src))
+
+	fmt.Printf("\nRIB at AS %d towards AS %d:\n", *src, *dst)
+	printRIB(g, table, *src)
+
+	if *hops {
+		for _, v := range table.ASPath(*src)[1:] {
+			if v == *dst {
+				break
+			}
+			fmt.Printf("\nRIB at on-path AS %d:\n", v)
+			printRIB(g, table, v)
+		}
+	}
+
+	full := bgp.CountForwardingPaths(g, table, *src, nil)
+	halfMask := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 2 {
+		halfMask[v] = true
+	}
+	half := bgp.CountForwardingPaths(g, table, *src, halfMask)
+	fmt.Printf("\nforwarding paths available: %d at 100%% deployment, %d at 50%%, 1 under plain BGP\n",
+		full, half)
+}
+
+func printRIB(g *topo.Graph, table *bgp.Dest, v int) {
+	rib := bgp.RIB(g, table, v)
+	if len(rib) == 0 {
+		fmt.Println("  (empty)")
+		return
+	}
+	for i, alt := range rib {
+		marker := "alt    "
+		if i == 0 {
+			marker = "default"
+		}
+		fmt.Printf("  %s via AS %-6d class=%-8s hops=%-2d path=%v\n",
+			marker, alt.Via, alt.Class, alt.Hops, bgp.PathVia(table, v, int(alt.Via)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mifo-rib:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,239 @@
+// mifo-sim regenerates the paper's simulation figures (Section IV).
+//
+// Usage:
+//
+//	mifo-sim -exp fig5a                 # one experiment at default scale
+//	mifo-sim -exp all -n 2000 -flows 20000
+//	mifo-sim -exp table1 -n 44340       # paper-scale Table I
+//
+// Output is gnuplot-style rows, one "# name" block per curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, fig5a, fig5b, fig5c, fig6a, fig6b, fig6c, fig7, fig8, fig9, resilience, strategy, overhead, errorbars, sensitivity, all")
+		n       = flag.Int("n", 1000, "topology size (ASes); the paper uses 44340")
+		flows   = flag.Int("flows", 5000, "number of flows; the paper uses 1e6")
+		pairs   = flag.Int("pairs", 1000, "sampled AS pairs for fig7")
+		rate    = flag.Float64("rate", 0, "flow arrival rate per second (0 = auto-scale the paper's 100/s)")
+		seed    = flag.Int64("seed", 1, "PRNG seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		outDir  = flag.String("o", "", "also write each experiment's curves as gnuplot data files into this directory")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mifo-sim:", err)
+			os.Exit(1)
+		}
+	}
+
+	o := experiments.Options{N: *n, Flows: *flows, PairSamples: *pairs, ArrivalRate: *rate, Seed: *seed, Workers: *workers}
+	list := strings.Split(*exp, ",")
+	if *exp == "all" {
+		list = []string{"table1", "fig7", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig8", "fig9", "resilience", "strategy", "overhead"}
+	}
+	for _, e := range list {
+		start := time.Now()
+		if err := run(strings.TrimSpace(e), o, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "mifo-sim: %s: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# [%s done in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// saveSeries writes curves to <dir>/<name>.dat in gnuplot block format.
+func saveSeries(dir, name string, series ...metrics.Series) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name+".dat"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return metrics.WriteGnuplot(f, series...)
+}
+
+func run(exp string, o experiments.Options, outDir string) error {
+	switch exp {
+	case "table1":
+		sum, err := experiments.TableI(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sum)
+
+	case "fig7":
+		f, err := experiments.RunFig7(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Fig. 7: Available Paths Comparison ==")
+		fmt.Println("# x: percentage of node pairs, y: paths per pair")
+		for _, s := range f.Series {
+			fmt.Print(s)
+		}
+		fmt.Printf("# median paths: MIFO(100%%)=%.0f MIRO(100%%)=%.0f\n", f.MedianMIFO100, f.MedianMIRO100)
+		if err := saveSeries(outDir, "fig7", f.Series...); err != nil {
+			return err
+		}
+
+	case "fig5a", "fig5b", "fig5c":
+		deploy := map[string]float64{"fig5a": 1.0, "fig5b": 0.5, "fig5c": 0.1}[exp]
+		c, err := experiments.RunFig5(o, deploy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Fig. 5 (%s): Throughput CDF at %.0f%% deployment, uniform traffic ==\n", exp, 100*deploy)
+		printComparison(c)
+		if err := saveSeries(outDir, exp, c.Series...); err != nil {
+			return err
+		}
+
+	case "fig6a", "fig6b", "fig6c":
+		alpha := map[string]float64{"fig6a": 0.8, "fig6b": 1.0, "fig6c": 1.2}[exp]
+		c, err := experiments.RunFig6(o, alpha)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Fig. 6 (%s): Throughput CDF, power-law alpha=%.1f, 50%% deployment ==\n", exp, alpha)
+		printComparison(c)
+		if err := saveSeries(outDir, exp, c.Series...); err != nil {
+			return err
+		}
+
+	case "fig8":
+		f, err := experiments.RunFig8(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Fig. 8: Traffic Offload on Alternative Paths ==")
+		fmt.Println("# x: % of ASes deploying MIFO, y: % of flows on alternative paths")
+		for _, r := range f.Rows {
+			fmt.Printf("%.0f%%\t%.1f\n", r.X, r.Y)
+		}
+		if err := saveSeries(outDir, "fig8", metrics.Series{Name: "offload", Rows: f.Rows}); err != nil {
+			return err
+		}
+
+	case "fig9":
+		f, err := experiments.RunFig9(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Fig. 9: Path Switch Distribution (flows that switched) ==")
+		fmt.Println("# switches  count  share")
+		fmt.Print(f.Histogram)
+		fmt.Printf("# switched once: %.1f%%  at most twice: %.1f%% (paper: 67.7%% / 97.5%%)\n",
+			100*f.OnceFraction, 100*f.AtMostTwiceFraction)
+
+	case "resilience":
+		// Extension beyond the paper: fail the busiest link mid-run.
+		r, err := experiments.RunResilience(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: link-failure resilience (busiest link fails mid-run) ==")
+		fmt.Printf("# failed link: AS %d - AS %d\n", r.FailedLink[0], r.FailedLink[1])
+		fmt.Printf("# %-6s %9s %12s %11s %8s %10s\n",
+			"policy", "affected", "mean stall", "max stall", "forever", "mean Mbps")
+		for _, row := range r.Rows {
+			fmt.Printf("  %-6s %9d %10.3fs %9.3fs %8d %10.0f\n",
+				row.Policy, row.AffectedFlows, row.MeanStallSec, row.MaxStallSec,
+				row.StalledForever, row.MeanMbps)
+		}
+
+	case "strategy":
+		// Extension beyond the paper: who should deploy MIFO first?
+		s, err := experiments.RunStrategy(o)
+		if err != nil {
+			return err
+		}
+		if err := saveSeries(outDir, "strategy", s.Series()...); err != nil {
+			return err
+		}
+		fmt.Println("== Extension: adopter strategy (random vs top-degree ASes) ==")
+		fmt.Printf("# %-8s %-24s %-24s\n", "deploy", "random (>=500 / offload)", "top-degree (>=500 / offload)")
+		for i := range s.Random {
+			fmt.Printf("  %.0f%%      %5.1f%% / %5.1f%%          %5.1f%% / %5.1f%%\n",
+				100*s.Random[i].Deployment,
+				100*s.Random[i].AtLeast500, 100*s.Random[i].Offload,
+				100*s.TopDegree[i].AtLeast500, 100*s.TopDegree[i].Offload)
+		}
+
+	case "errorbars":
+		// Extension: the Fig. 5 headline with multi-seed error bars.
+		r, err := experiments.RunRepeated(o, 1.0, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: Fig. 5(a) headline over 5 seeds (mean ± std) ==")
+		fmt.Printf("  %-6s %-18s %-18s\n", "policy", ">=500 Mbps (%)", "mean Mbps")
+		for _, name := range []string{"BGP", "MIRO", "MIFO"} {
+			fmt.Printf("  %-6s %-18s %-18s\n", name,
+				r.AtLeast500[name].String(), r.MeanMbps[name].String())
+		}
+
+	case "sensitivity":
+		// Extension: the control-knob sweeps behind the ablations.
+		s, err := experiments.RunSensitivity(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: MIFO control-knob sensitivity ==")
+		fmt.Println("# congestion threshold sweep: x | pct >=500Mbps | pct offload")
+		for _, r := range s.Thresholds {
+			fmt.Printf("  %.2f\t%5.1f\t%5.1f\n", r.X, r.AtLeast500, r.Offload)
+		}
+		fmt.Println("# control interval sweep (s): x | pct >=500Mbps | pct offload")
+		for _, r := range s.Intervals {
+			fmt.Printf("  %.3f\t%5.1f\t%5.1f\n", r.X, r.AtLeast500, r.Offload)
+		}
+
+	case "overhead":
+		// Extension: the control-plane cost behind Section II-B's
+		// "zero overhead" claim, measured with the message-level BGP sim.
+		ov, err := experiments.RunOverhead(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: control-plane overhead of multipath schemes ==")
+		fmt.Printf("  baseline BGP:  %.0f UPDATE messages to converge one prefix\n", ov.BGPUpdatesPerPrefix)
+		fmt.Printf("  MIRO:          +%.1f negotiation messages per (src,dst) pair using alternates\n", ov.MIROMessagesPerPair)
+		fmt.Printf("  MIFO:          +%.0f messages (alternatives come from the local RIB)\n", ov.MIFOExtraMessages)
+		fmt.Printf("  BGP reconvergence after a link failure: %.2f s mean — the outage window\n", ov.ReconvergenceSec)
+		fmt.Println("  MIFO's data-plane failover bridges (cf. -exp resilience).")
+
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func printComparison(c *experiments.ThroughputComparison) {
+	fmt.Println("# x: throughput (Mbps), y: CDF (%)")
+	for _, s := range c.Series {
+		fmt.Print(s)
+	}
+	fmt.Println("# flows reaching >= 500 Mbps (half of link capacity):")
+	for _, s := range c.Series {
+		cdf := c.Results[s.Name].ThroughputCDF()
+		fmt.Printf("#   %-22s %.1f%%  (offload %.1f%%, mean %.0f Mbps, median %.0f Mbps)\n", s.Name,
+			100*c.AtLeast500[s.Name], 100*c.Results[s.Name].OffloadFraction(),
+			cdf.Mean(), cdf.Quantile(0.5))
+	}
+}

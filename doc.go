@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "MIFO: Multi-Path
+// Interdomain Forwarding" (Zhu et al., ICPP 2015): data-plane multipath
+// forwarding for BGP networks, where border routers deflect traffic from
+// congested default paths onto alternatives mined from the local BGP RIB,
+// kept loop-free by a one-bit valley-free tag-check and an IP-in-IP
+// hand-off between iBGP peers.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), is exercised by the runnable tools under cmd/ and the
+// walkthroughs under examples/, and regenerates every table and figure of
+// the paper's evaluation via bench_test.go and cmd/mifo-sim
+// (paper-vs-measured numbers are recorded in EXPERIMENTS.md).
+package repro

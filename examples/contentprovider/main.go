@@ -1,0 +1,58 @@
+// Contentprovider reproduces the paper's motivating scenario (and Fig. 6's
+// workload): a handful of hypergiant content providers source most of the
+// interdomain traffic, Zipf-distributed by popularity, towards stub ASes.
+// Under plain BGP the providers' default egress paths congest; MIFO
+// spreads their flows over alternative RIB paths at 50% deployment.
+//
+//	go run ./examples/contentprovider
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func main() {
+	g, err := topo.Generate(topo.GenConfig{N: 800, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rank content providers the way the paper does: by the number of
+	// providers and peers they have.
+	providers := traffic.RankContentProviders(g, 80)
+	consumers := traffic.StubASes(g)
+	fmt.Printf("%d candidate content providers, %d stub consumers\n", len(providers), len(consumers))
+	fmt.Printf("top provider AS %d has %d transit neighbors\n\n",
+		providers[0], g.TransitNeighborCount(providers[0]))
+
+	for _, alpha := range []float64{0.8, 1.0, 1.2} {
+		flows, err := traffic.PowerLaw(traffic.PowerLawConfig{
+			Providers: providers, Consumers: consumers,
+			Alpha: alpha, Flows: 3000, ArrivalRate: 1400, Seed: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mask := experiments.DeploymentMask(g.N(), 0.5, 99)
+
+		fmt.Printf("alpha = %.1f (traffic skew):\n", alpha)
+		for _, policy := range []netsim.Policy{netsim.PolicyBGP, netsim.PolicyMIFO} {
+			res, err := netsim.Run(g, flows, netsim.Config{Policy: policy, Capable: mask})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-5v mean %4.0f Mbps | >=500 Mbps %4.1f%% | offloaded %4.1f%%\n",
+				policy, res.MeanThroughputMbps(),
+				100*res.FractionAtLeastMbps(500), 100*res.OffloadFraction())
+		}
+	}
+
+	fmt.Println("\nThe more skewed the matrix, the harder BGP's fixed defaults are hit;")
+	fmt.Println("MIFO's data-plane deflection absorbs the hot content providers' bursts.")
+}

@@ -1,0 +1,44 @@
+// Failover demonstrates the resilience extension: the busiest inter-AS
+// link dies mid-run. Plain BGP (and MIRO, whose multipath is control-plane
+// state) black-holes traffic until routes reconverge; MIFO's forwarding
+// engine treats the dead egress as the ultimate congestion signal and
+// deflects affected flows onto RIB alternatives within one control epoch.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	opts := experiments.Options{N: 400, Flows: 800, ArrivalRate: 120, Seed: 9}
+
+	fmt.Println("Failing the busiest inter-AS link one third into the run...")
+	r, err := experiments.RunResilience(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failed link: AS %d <-> AS %d\n\n", r.FailedLink[0], r.FailedLink[1])
+	fmt.Printf("%-6s %10s %13s %12s %9s\n", "policy", "affected", "mean stall", "max stall", "forever")
+	for _, row := range r.Rows {
+		fmt.Printf("%-6s %10d %12.3fs %11.3fs %9d\n",
+			row.Policy, row.AffectedFlows, row.MeanStallSec, row.MaxStallSec, row.StalledForever)
+	}
+
+	// Where does the BGP outage window come from? Measure the protocol's
+	// own reconvergence with the message-level simulator (averaged over
+	// several random failures on the same topology).
+	ov, err := experiments.RunOverhead(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmessage-level BGP: %.0f UPDATEs to converge a prefix; mean reconvergence\n",
+		ov.BGPUpdatesPerPrefix)
+	fmt.Printf("after a link failure %.2f s — the outage window above.\n", ov.ReconvergenceSec)
+	fmt.Println("\nMIFO keeps forwarding through that window wherever a valley-free")
+	fmt.Println("alternative exists at the router adjacent to the failure.")
+}

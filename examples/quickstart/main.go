@@ -1,0 +1,50 @@
+// Quickstart: generate a small Internet-like topology, drive the same flow
+// workload through BGP, MIRO and MIFO, and compare per-flow throughput.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// 1. A 500-AS topology calibrated to the paper's Table I mix
+	//    (69% provider-customer links, 31% peering).
+	g, err := topo.Generate(topo.GenConfig{N: 500, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := g.Stats()
+	fmt.Printf("topology: %d ASes, %d links (%.0f%% peering)\n",
+		s.Nodes, s.Links, 100*s.PeerFraction)
+
+	// 2. A Poisson workload of 10 MB flows between random AS pairs.
+	flows, err := traffic.Uniform(traffic.UniformConfig{
+		N: g.N(), Flows: 3000, ArrivalRate: 1200, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d flows of 10 MB, Poisson arrivals\n\n", len(flows))
+
+	// 3. Same flows, three routing policies.
+	for _, policy := range []netsim.Policy{netsim.PolicyBGP, netsim.PolicyMIRO, netsim.PolicyMIFO} {
+		res, err := netsim.Run(g, flows, netsim.Config{Policy: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cdf := res.ThroughputCDF()
+		fmt.Printf("%-5v mean %4.0f Mbps | median %4.0f Mbps | >=500 Mbps %4.1f%% | offloaded %4.1f%%\n",
+			policy, cdf.Mean(), cdf.Quantile(0.5),
+			100*res.FractionAtLeastMbps(500), 100*res.OffloadFraction())
+	}
+
+	fmt.Println("\nMIFO forwards the same BGP routes — the gain comes purely from")
+	fmt.Println("deflecting flows off congested default paths on the data plane.")
+}

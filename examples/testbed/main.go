@@ -1,0 +1,57 @@
+// Testbed runs a compact version of the paper's prototype experiment
+// (Section V): the Fig. 11 six-AS topology with 10 back-to-back 100 MB
+// flows per source, under BGP and under MIFO, printing the Fig. 12-style
+// summary. The forwarding decisions come from the real MIFO forwarding
+// engine (Algorithm 1), including the IP-in-IP hand-off between the two
+// AS-3 border routers.
+//
+//	go run ./examples/testbed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/testbed"
+)
+
+func main() {
+	cfg := testbed.Config{FlowsPerPair: 10}
+
+	cfg.MIFO = false
+	bgp, err := testbed.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.MIFO = true
+	mifo, err := testbed.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("S1->D1 and S2->D2 each send 10 flows of 100 MB back to back;")
+	fmt.Println("the AS3->AS4 link is the shared bottleneck (Fig. 11).")
+	fmt.Println()
+	fmt.Printf("%-6s %-18s %-12s %-10s %s\n", "", "aggregate (Gbps)", "total (s)", "max FCT", "alt flows")
+	fmt.Printf("%-6s %-18.2f %-12.1f %-10.2f %d\n", "BGP", bgp.MeanAggregateGbps, bgp.TotalTime, bgp.FCT.Max(), bgp.AltFlowCount)
+	fmt.Printf("%-6s %-18.2f %-12.1f %-10.2f %d\n", "MIFO", mifo.MeanAggregateGbps, mifo.TotalTime, mifo.FCT.Max(), mifo.AltFlowCount)
+	fmt.Println()
+	fmt.Printf("aggregate throughput improvement: %.0f%% (the paper reports 81%%)\n",
+		testbed.ImprovementPercent(mifo, bgp))
+
+	fmt.Println("\naggregate over time (Gbps):")
+	fmt.Println("  t(s)  BGP    MIFO")
+	for i := 0; i < len(bgp.Aggregate.Rows) || i < len(mifo.Aggregate.Rows); i++ {
+		b, m := "-", "-"
+		var ts float64
+		if i < len(bgp.Aggregate.Rows) {
+			b = fmt.Sprintf("%.2f", bgp.Aggregate.Rows[i].Y)
+			ts = bgp.Aggregate.Rows[i].X
+		}
+		if i < len(mifo.Aggregate.Rows) {
+			m = fmt.Sprintf("%.2f", mifo.Aggregate.Rows[i].Y)
+			ts = mifo.Aggregate.Rows[i].X
+		}
+		fmt.Printf("  %4.0f  %-6s %-6s\n", ts, b, m)
+	}
+}

@@ -1,0 +1,255 @@
+// Package bgp computes interdomain routes over an AS-level topology under
+// the standard Gao–Rexford model the paper assumes (Section IV):
+//
+//   - Export: routes through peers and providers are exported only to
+//     customers; customer routes (and one's own prefixes) are exported to
+//     everyone ("valley-free" export).
+//   - Selection: customer routes are preferred over peer routes, which are
+//     preferred over provider routes; ties are broken first by AS-path
+//     length, then by the lowest next-hop AS identifier.
+//
+// Besides the single best route per AS (what BGP's data plane uses), the
+// package exposes the multi-path Adj-RIB-In that MIFO mines: for a given
+// destination, every route a neighbor is willing to export. This is exactly
+// the paper's "multiple paths with zero overhead" observation — path
+// diversity equals the number of exporting neighbors.
+package bgp
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/topo"
+)
+
+// Class ranks a route by the relationship through which it was learned.
+// Lower is more preferred.
+type Class int8
+
+const (
+	// ClassOrigin marks the destination AS itself.
+	ClassOrigin Class = iota
+	// ClassCustomer marks a route learned from a customer.
+	ClassCustomer
+	// ClassPeer marks a route learned from a peer.
+	ClassPeer
+	// ClassProvider marks a route learned from a provider.
+	ClassProvider
+	// ClassUnreachable marks the absence of any route.
+	ClassUnreachable
+)
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassOrigin:
+		return "origin"
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	case ClassUnreachable:
+		return "unreachable"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// classOf translates the relationship of the announcing neighbor (as seen
+// from the receiving AS) into the receiver's route class.
+func classOf(rel topo.Rel) Class {
+	switch rel {
+	case topo.Customer:
+		return ClassCustomer
+	case topo.Peer:
+		return ClassPeer
+	default:
+		return ClassProvider
+	}
+}
+
+// Dest holds, for one destination AS, every AS's best route: its class,
+// AS-path length (hops to the destination) and next-hop AS.
+type Dest struct {
+	dst   int32
+	class []Class
+	hops  []int16
+	next  []int32 // -1 when unreachable
+}
+
+// Dst returns the destination AS index.
+func (d *Dest) Dst() int { return int(d.dst) }
+
+// Reachable reports whether v has any route to the destination.
+func (d *Dest) Reachable(v int) bool { return d.class[v] != ClassUnreachable }
+
+// Class returns the class of v's best route.
+func (d *Dest) Class(v int) Class { return d.class[v] }
+
+// Hops returns the AS-path length of v's best route (0 at the destination).
+// It returns -1 when unreachable.
+func (d *Dest) Hops(v int) int {
+	if d.class[v] == ClassUnreachable {
+		return -1
+	}
+	return int(d.hops[v])
+}
+
+// NextHop returns the next-hop AS on v's best route, or -1.
+func (d *Dest) NextHop(v int) int { return int(d.next[v]) }
+
+// ASPath returns the default AS-level path [src, ..., dst] following best
+// routes, or nil when src has no route.
+func (d *Dest) ASPath(src int) []int {
+	if !d.Reachable(src) {
+		return nil
+	}
+	path := make([]int, 0, d.hops[src]+1)
+	v := src
+	for {
+		path = append(path, v)
+		if int32(v) == d.dst {
+			return path
+		}
+		v = int(d.next[v])
+	}
+}
+
+// onBestPath reports whether v appears on the best path starting at n.
+// Used for the standard AS-path loop filter when building the RIB.
+func (d *Dest) onBestPath(n, v int) bool {
+	for x := n; ; x = int(d.next[x]) {
+		if x == v {
+			return true
+		}
+		if int32(x) == d.dst {
+			return false
+		}
+	}
+}
+
+// Compute derives every AS's best route towards dst with the three-phase
+// algorithm (customer routes propagate up, peer routes cross once, provider
+// routes propagate down). The result is deterministic.
+func Compute(g *topo.Graph, dst int) *Dest {
+	n := g.N()
+	d := &Dest{
+		dst:   int32(dst),
+		class: make([]Class, n),
+		hops:  make([]int16, n),
+		next:  make([]int32, n),
+	}
+	for i := range d.class {
+		d.class[i] = ClassUnreachable
+		d.next[i] = -1
+	}
+	d.class[dst] = ClassOrigin
+
+	// Phase 1: customer routes, BFS "uphill" over customer->provider edges,
+	// level-by-level so the lowest-next-hop tie-break is exact.
+	cur := []int32{int32(dst)}
+	level := int16(0)
+	for len(cur) > 0 {
+		level++
+		var nextLevel []int32
+		for _, c := range cur {
+			for _, nb := range g.Neighbors(int(c)) {
+				if nb.Rel != topo.Provider {
+					continue // only c's providers learn c's customer route
+				}
+				p := nb.AS
+				switch {
+				case d.class[p] == ClassUnreachable:
+					d.class[p] = ClassCustomer
+					d.hops[p] = level
+					d.next[p] = c
+					nextLevel = append(nextLevel, p)
+				case d.class[p] == ClassCustomer && d.hops[p] == level && c < d.next[p]:
+					d.next[p] = c // same length: lowest next-hop AS wins
+				}
+			}
+		}
+		cur = nextLevel
+	}
+
+	// Phase 2: peer routes. An AS with no customer route takes the best
+	// customer (or origin) route offered by a peer.
+	for v := 0; v < n; v++ {
+		if d.class[v] != ClassUnreachable {
+			continue
+		}
+		bestHops := int16(-1)
+		bestPeer := int32(-1)
+		for _, nb := range g.Neighbors(v) {
+			if nb.Rel != topo.Peer {
+				continue
+			}
+			u := nb.AS
+			if d.class[u] != ClassOrigin && d.class[u] != ClassCustomer {
+				continue // peers only export customer routes
+			}
+			h := d.hops[u] + 1
+			if bestPeer < 0 || h < bestHops || (h == bestHops && u < bestPeer) {
+				bestHops, bestPeer = h, u
+			}
+		}
+		if bestPeer >= 0 {
+			d.class[v] = ClassPeer
+			d.hops[v] = bestHops
+			d.next[v] = bestPeer
+		}
+	}
+
+	// Phase 3: provider routes, propagated "downhill" in increasing path
+	// length with a bucket queue (providers export their best route —
+	// whatever its class — to customers).
+	maxHops := 0
+	buckets := make([][]int32, 1, 16)
+	push := func(v int32, h int) {
+		for h >= len(buckets) {
+			buckets = append(buckets, nil)
+		}
+		buckets[h] = append(buckets[h], v)
+		if h > maxHops {
+			maxHops = h
+		}
+	}
+	for v := 0; v < n; v++ {
+		if d.class[v] != ClassUnreachable {
+			push(int32(v), int(d.hops[v]))
+		}
+	}
+	for h := 0; h <= maxHops; h++ {
+		for _, x := range buckets[h] {
+			if int(d.hops[x]) != h {
+				continue // stale tentative entry superseded by a shorter route
+			}
+			for _, nb := range g.Neighbors(int(x)) {
+				if nb.Rel != topo.Customer {
+					continue // x exports downhill to customers only
+				}
+				c := nb.AS
+				switch {
+				case d.class[c] == ClassUnreachable:
+					d.class[c] = ClassProvider
+					d.hops[c] = int16(h + 1)
+					d.next[c] = x
+					push(c, h+1)
+				case d.class[c] == ClassProvider && int(d.hops[c]) == h+1 && x < d.next[c]:
+					d.next[c] = x
+				}
+			}
+		}
+	}
+	return d
+}
+
+// ComputeAll computes Dest tables for every destination in dsts, in
+// parallel. Results are positionally aligned with dsts.
+func ComputeAll(g *topo.Graph, dsts []int, workers int) []*Dest {
+	return parallel.Map(len(dsts), workers, func(i int) *Dest {
+		return Compute(g, dsts[i])
+	})
+}

@@ -1,0 +1,306 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// fig2a builds the paper's Fig. 2(a) topology: ASes 1, 2, 3 peer with each
+// other; AS 0 is a customer of all three.
+func fig2a(t testing.TB) *topo.Graph {
+	t.Helper()
+	g, err := topo.NewBuilder(4).
+		AddPC(1, 0).AddPC(2, 0).AddPC(3, 0).
+		AddPeer(1, 2).AddPeer(2, 3).AddPeer(1, 3).
+		Build()
+	if err != nil {
+		t.Fatalf("fig2a build: %v", err)
+	}
+	return g
+}
+
+func TestComputeFig2a(t *testing.T) {
+	g := fig2a(t)
+	d := Compute(g, 0)
+	if d.Dst() != 0 {
+		t.Fatalf("Dst = %d", d.Dst())
+	}
+	if d.Class(0) != ClassOrigin || d.Hops(0) != 0 {
+		t.Errorf("origin: class=%v hops=%d", d.Class(0), d.Hops(0))
+	}
+	for _, v := range []int{1, 2, 3} {
+		if d.Class(v) != ClassCustomer {
+			t.Errorf("AS %d class = %v, want customer", v, d.Class(v))
+		}
+		if d.NextHop(v) != 0 || d.Hops(v) != 1 {
+			t.Errorf("AS %d next=%d hops=%d, want direct", v, d.NextHop(v), d.Hops(v))
+		}
+	}
+}
+
+func TestClassPreferenceOrder(t *testing.T) {
+	// AS 4 has three ways to dst 0:
+	//   customer route via 3 (long: 4->3->2->1->0, all downhill),
+	//   peer route via 5 (5 is customer-routed to 0),
+	//   provider route via 6 (direct).
+	// Customer must win despite being longest.
+	b := topo.NewBuilder(7)
+	b.AddPC(1, 0).AddPC(2, 1).AddPC(3, 2).AddPC(4, 3) // chain 4>3>2>1>0
+	b.AddPC(5, 0).AddPeer(4, 5)                       // peer route, 2 hops
+	b.AddPC(6, 0).AddPC(6, 4)                         // provider route, 2 hops
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	if d.Class(4) != ClassCustomer || d.NextHop(4) != 3 || d.Hops(4) != 4 {
+		t.Errorf("AS4: class=%v next=%d hops=%d, want customer via 3 hops 4",
+			d.Class(4), d.NextHop(4), d.Hops(4))
+	}
+	// Remove preference conflict: AS 5 itself should use its customer route.
+	if d.Class(5) != ClassCustomer || d.NextHop(5) != 0 {
+		t.Errorf("AS5: class=%v next=%d, want customer via 0", d.Class(5), d.NextHop(5))
+	}
+}
+
+func TestPeerOverProvider(t *testing.T) {
+	// AS 3 has no customer route: peer route via 1 vs provider route via 2.
+	b := topo.NewBuilder(4)
+	b.AddPC(1, 0)   // 1 has customer route to 0
+	b.AddPC(2, 0)   // 2 has customer route to 0
+	b.AddPeer(3, 1) // 3 peers with 1
+	b.AddPC(2, 3)   // 2 is 3's provider
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	if d.Class(3) != ClassPeer || d.NextHop(3) != 1 {
+		t.Errorf("AS3: class=%v next=%d, want peer via 1", d.Class(3), d.NextHop(3))
+	}
+}
+
+func TestShortestPathTieBreak(t *testing.T) {
+	// AS 4 has two customer routes to 0: via 1 (2 hops) and via 3 (3 hops).
+	b := topo.NewBuilder(5)
+	b.AddPC(1, 0).AddPC(4, 1)             // 4 -> 1 -> 0
+	b.AddPC(2, 0).AddPC(3, 2).AddPC(4, 3) // 4 -> 3 -> 2 -> 0
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	if d.NextHop(4) != 1 || d.Hops(4) != 2 {
+		t.Errorf("AS4 next=%d hops=%d, want shortest via 1", d.NextHop(4), d.Hops(4))
+	}
+}
+
+func TestLowestNextHopTieBreak(t *testing.T) {
+	// AS 4 has two equal-length customer routes via 1 and 2; 1 must win.
+	b := topo.NewBuilder(5)
+	b.AddPC(2, 0).AddPC(4, 2)
+	b.AddPC(1, 0).AddPC(4, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	if d.NextHop(4) != 1 {
+		t.Errorf("AS4 next=%d, want 1 (lowest next-hop tie-break)", d.NextHop(4))
+	}
+
+	// Same for provider routes: AS 0 is customer of both 1 and 2, dst 3 is
+	// reachable from both at equal length.
+	b2 := topo.NewBuilder(4)
+	b2.AddPC(1, 0).AddPC(2, 0)
+	b2.AddPC(1, 3).AddPC(2, 3)
+	g2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := Compute(g2, 3)
+	if d2.Class(0) != ClassProvider || d2.NextHop(0) != 1 {
+		t.Errorf("AS0: class=%v next=%d, want provider via 1", d2.Class(0), d2.NextHop(0))
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	// Two disconnected components: 0-1 and 2-3.
+	b := topo.NewBuilder(4)
+	b.AddPC(0, 1).AddPC(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 1)
+	if !d.Reachable(0) || d.Reachable(2) || d.Reachable(3) {
+		t.Error("reachability wrong across components")
+	}
+	if d.Hops(2) != -1 || d.NextHop(2) != -1 {
+		t.Errorf("unreachable AS should report -1, got hops=%d next=%d", d.Hops(2), d.NextHop(2))
+	}
+	if d.ASPath(2) != nil {
+		t.Error("ASPath of unreachable AS should be nil")
+	}
+}
+
+func TestValleyBlocked(t *testing.T) {
+	// dst 0 is customer of 1; 1 peers with 2; 2 peers with 3.
+	// 3 must NOT reach 0: that would require transiting two peer links.
+	b := topo.NewBuilder(4)
+	b.AddPC(1, 0).AddPeer(1, 2).AddPeer(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	if !d.Reachable(2) || d.Class(2) != ClassPeer {
+		t.Errorf("AS2: class=%v, want peer route", d.Class(2))
+	}
+	if d.Reachable(3) {
+		t.Error("AS3 should be unreachable (peer routes are not exported to peers)")
+	}
+}
+
+func TestASPath(t *testing.T) {
+	b := topo.NewBuilder(4)
+	b.AddPC(1, 0).AddPC(2, 1).AddPC(3, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	path := d.ASPath(3)
+	want := []int{3, 2, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if p := d.ASPath(0); len(p) != 1 || p[0] != 0 {
+		t.Errorf("path at origin = %v, want [0]", p)
+	}
+}
+
+func TestComputeAllParallelMatchesSerial(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 400, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := []int{0, 5, 50, 399, 200}
+	par := ComputeAll(g, dsts, 8)
+	for i, dst := range dsts {
+		ser := Compute(g, dst)
+		for v := 0; v < g.N(); v++ {
+			if par[i].Class(v) != ser.Class(v) || par[i].NextHop(v) != ser.NextHop(v) ||
+				par[i].Hops(v) != ser.Hops(v) {
+				t.Fatalf("dst %d AS %d: parallel differs from serial", dst, v)
+			}
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassOrigin: "origin", ClassCustomer: "customer", ClassPeer: "peer",
+		ClassProvider: "provider", ClassUnreachable: "unreachable",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Errorf("unknown class String() = %q", Class(99).String())
+	}
+}
+
+// Every AS path produced on a generated topology must be simple (no repeated
+// AS) and valley-free (uphill*, at most one peer step, downhill*).
+func TestGeneratedPathsAreValleyFree(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 800, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dst := range []int{0, 17, 400, 799} {
+		d := Compute(g, dst)
+		for src := 0; src < g.N(); src += 13 {
+			if !d.Reachable(src) {
+				t.Fatalf("AS %d cannot reach %d in a connected hierarchy", src, dst)
+			}
+			path := d.ASPath(src)
+			assertSimple(t, path)
+			assertValleyFree(t, g, path)
+		}
+	}
+}
+
+func assertSimple(t *testing.T, path []int) {
+	t.Helper()
+	seen := map[int]bool{}
+	for _, v := range path {
+		if seen[v] {
+			t.Fatalf("path %v revisits AS %d", path, v)
+		}
+		seen[v] = true
+	}
+}
+
+// assertValleyFree checks the up*-peer?-down* shape.
+func assertValleyFree(t *testing.T, g *topo.Graph, path []int) {
+	t.Helper()
+	const (
+		up = iota
+		peered
+		down
+	)
+	phase := up
+	for i := 0; i+1 < len(path); i++ {
+		rel, ok := g.Rel(path[i], path[i+1])
+		if !ok {
+			t.Fatalf("path %v uses nonexistent link %d-%d", path, path[i], path[i+1])
+		}
+		switch rel {
+		case topo.Provider: // moving uphill
+			if phase != up {
+				t.Fatalf("path %v goes uphill after peak at hop %d", path, i)
+			}
+		case topo.Peer:
+			if phase != up {
+				t.Fatalf("path %v has a second peer/peak at hop %d", path, i)
+			}
+			phase = peered
+		case topo.Customer: // moving downhill
+			phase = down
+		}
+	}
+}
+
+func BenchmarkCompute2k(b *testing.B) {
+	g, err := topo.Generate(topo.GenConfig{N: 2000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(g, i%g.N())
+	}
+}
+
+func BenchmarkComputeAllParallel(b *testing.B) {
+	g, err := topo.Generate(topo.GenConfig{N: 2000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsts := make([]int, 64)
+	for i := range dsts {
+		dsts[i] = i * 31 % g.N()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeAll(g, dsts, 0)
+	}
+}

@@ -1,0 +1,117 @@
+package bgp
+
+import (
+	"math"
+
+	"repro/internal/topo"
+)
+
+// MaxPaths is the saturation ceiling for path counting. Dense topologies
+// can have astronomically many valley-free paths; counts clamp here.
+const MaxPaths uint64 = math.MaxUint64 / 4
+
+func satAdd(a, b uint64) uint64 {
+	if a > MaxPaths-b {
+		return MaxPaths
+	}
+	return a + b
+}
+
+// PathCounter counts the distinct AS-level forwarding paths available from
+// a source towards one destination when a subset of ASes is MIFO-capable
+// (Fig. 7's "available paths per pair").
+//
+// A path is counted when every hop satisfies the data-plane valley-free
+// check (Eq. 3 of the paper): AS v may forward a packet received from
+// upstream UN to downstream DN iff UN is v's customer or DN is v's
+// customer. MIFO-capable ASes may use any RIB entry as the next hop;
+// legacy ASes follow only their default route. The valley-free constraint
+// makes the (AS, entry-bit) state graph acyclic — the same argument as the
+// paper's loop-freedom theorem — so counting is a linear-time DP.
+type PathCounter struct {
+	g       *topo.Graph
+	d       *Dest
+	capable []bool // nil means every AS is capable
+
+	memo  []uint64 // count per state; states are 2*v + bit
+	state []uint8  // 0 = unvisited, 1 = on stack, 2 = done
+}
+
+// NewPathCounter builds a counter for destination d. capable[v] marks
+// MIFO-capable ASes; pass nil for full deployment.
+func NewPathCounter(g *topo.Graph, d *Dest, capable []bool) *PathCounter {
+	return &PathCounter{
+		g:       g,
+		d:       d,
+		capable: capable,
+		memo:    make([]uint64, 2*g.N()),
+		state:   make([]uint8, 2*g.N()),
+	}
+}
+
+func (pc *PathCounter) isCapable(v int) bool {
+	return pc.capable == nil || pc.capable[v]
+}
+
+// Count returns the number of distinct forwarding paths from src to the
+// destination, saturating at MaxPaths. The source imposes no entry
+// constraint (it originates the traffic), matching the paper's model where
+// the tag is applied at the AS the packet *enters*.
+func (pc *PathCounter) Count(src int) uint64 {
+	if src == int(pc.d.dst) {
+		return 1
+	}
+	return pc.count(src, 1)
+}
+
+// count returns the number of valley-free forwarding paths from state
+// (v, bit) to the destination. bit==1 means the packet entered v from a
+// customer (or originated at v).
+func (pc *PathCounter) count(v, bit int) uint64 {
+	if v == int(pc.d.dst) {
+		return 1
+	}
+	s := 2*v + bit
+	switch pc.state[s] {
+	case 2:
+		return pc.memo[s]
+	case 1:
+		// A cycle would contradict the loop-freedom theorem; treat the
+		// re-entry as contributing no paths. Exercised only if the
+		// topology violates Gao–Rexford assumptions.
+		return 0
+	}
+	pc.state[s] = 1
+	var total uint64
+	if pc.isCapable(v) {
+		for _, alt := range RIB(pc.g, pc.d, v) {
+			total = satAdd(total, pc.countVia(v, bit, alt))
+		}
+	} else if next := pc.d.NextHop(v); next >= 0 {
+		rel, _ := pc.g.Rel(v, next)
+		total = pc.countVia(v, bit, Alt{Via: int32(next), Class: classOf(rel)})
+	}
+	pc.memo[s] = total
+	pc.state[s] = 2
+	return total
+}
+
+// countVia applies the Eq. 3 check for forwarding from v to alt.Via and,
+// if allowed, recurses with the next AS's entry bit.
+func (pc *PathCounter) countVia(v, bit int, alt Alt) uint64 {
+	if bit != 1 && alt.Class != ClassCustomer {
+		return 0 // would form a valley: entered from peer/provider, exiting to non-customer
+	}
+	// The next AS sees v as a customer iff alt.Via is v's provider.
+	nextBit := 0
+	if alt.Class == ClassProvider {
+		nextBit = 1
+	}
+	return pc.count(int(alt.Via), nextBit)
+}
+
+// CountForwardingPaths is a convenience wrapper: the number of forwarding
+// paths from src to d's destination under the given deployment.
+func CountForwardingPaths(g *topo.Graph, d *Dest, src int, capable []bool) uint64 {
+	return NewPathCounter(g, d, capable).Count(src)
+}

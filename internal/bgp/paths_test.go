@@ -1,0 +1,173 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+)
+
+func TestCountFig2aFullDeployment(t *testing.T) {
+	g := fig2a(t)
+	d := Compute(g, 0)
+	// From AS 1 toward AS 0: direct, via peer 2, via peer 3. The clockwise
+	// "loop" paths (1->2->3->0 etc.) are blocked by the valley-free check:
+	// after a peer hop the packet may only descend to a customer.
+	if got := CountForwardingPaths(g, d, 1, nil); got != 3 {
+		t.Errorf("paths from AS1 = %d, want 3", got)
+	}
+	// The destination itself trivially has one path.
+	if got := CountForwardingPaths(g, d, 0, nil); got != 1 {
+		t.Errorf("paths from dst = %d, want 1", got)
+	}
+}
+
+func TestCountNoDeploymentIsSinglePath(t *testing.T) {
+	g := fig2a(t)
+	d := Compute(g, 0)
+	capable := make([]bool, g.N()) // nobody deploys MIFO
+	for src := 1; src <= 3; src++ {
+		if got := CountForwardingPaths(g, d, src, capable); got != 1 {
+			t.Errorf("src %d: %d paths under zero deployment, want 1 (default only)", src, got)
+		}
+	}
+}
+
+func TestCountUnreachable(t *testing.T) {
+	b := topo.NewBuilder(3)
+	b.AddPC(0, 1) // AS 2 isolated
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 1)
+	if got := CountForwardingPaths(g, d, 2, nil); got != 0 {
+		t.Errorf("isolated src counted %d paths, want 0", got)
+	}
+}
+
+func TestCountDiamond(t *testing.T) {
+	// src 3 is a customer of 1 and 2, both customers of 0... inverted:
+	// 1 and 2 are providers of 3 and customers of 0? We need src below,
+	// dst above: dst 0 provides 1 and 2; 1 and 2 provide 3.
+	// Uphill from 3: via 1 or via 2 — exactly 2 paths.
+	b := topo.NewBuilder(4)
+	b.AddPC(0, 1).AddPC(0, 2).AddPC(1, 3).AddPC(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	if got := CountForwardingPaths(g, d, 3, nil); got != 2 {
+		t.Errorf("diamond paths = %d, want 2", got)
+	}
+}
+
+func TestCountValleyRejected(t *testing.T) {
+	// 1 and 2 peer; dst 0 is customer of 1 and 2; src 3 is customer of 1.
+	// Paths from 3: up to 1 then down to 0, or up to 1, across to peer 2,
+	// down to 0. Both fine. But from 2's perspective entered via peer,
+	// 2 may only descend — 2->1 (peer) is rejected, no infinite bouncing.
+	b := topo.NewBuilder(4)
+	b.AddPC(1, 0).AddPC(2, 0).AddPeer(1, 2).AddPC(1, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	if got := CountForwardingPaths(g, d, 3, nil); got != 2 {
+		t.Errorf("paths = %d, want 2 (direct down + one peer crossing)", got)
+	}
+}
+
+func TestCountMonotoneInDeployment(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 300, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 0)
+	none := make([]bool, g.N())
+	half := make([]bool, g.N())
+	for v := range half {
+		half[v] = v%2 == 0
+	}
+	for src := 1; src < g.N(); src += 17 {
+		c0 := CountForwardingPaths(g, d, src, none)
+		c1 := CountForwardingPaths(g, d, src, half)
+		c2 := CountForwardingPaths(g, d, src, nil)
+		if c0 > c1 || c1 > c2 {
+			t.Fatalf("src %d: counts not monotone in deployment: %d, %d, %d", src, c0, c1, c2)
+		}
+		if c0 != 1 {
+			t.Fatalf("src %d: default-only count = %d, want 1", src, c0)
+		}
+	}
+}
+
+func TestCountAtLeastRIBSizeAtSource(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(g, 7)
+	for src := 0; src < g.N(); src += 11 {
+		if src == 7 {
+			continue
+		}
+		rib := len(RIB(g, d, src))
+		got := CountForwardingPaths(g, d, src, nil)
+		if got < uint64(rib) {
+			t.Fatalf("src %d: %d paths < RIB size %d", src, got, rib)
+		}
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	if got := satAdd(MaxPaths-1, 5); got != MaxPaths {
+		t.Errorf("satAdd near ceiling = %d, want MaxPaths", got)
+	}
+	if got := satAdd(2, 3); got != 5 {
+		t.Errorf("satAdd(2,3) = %d", got)
+	}
+}
+
+// Property: the DP never hits a cycle (count terminates and the counter's
+// cycle guard is never the only thing producing zero when reachable via the
+// default path).
+func TestQuickCountTerminatesPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := topo.Generate(topo.GenConfig{N: 200, Seed: seed})
+		if err != nil {
+			return false
+		}
+		d := Compute(g, 3)
+		for src := 0; src < g.N(); src += 23 {
+			if src == 3 {
+				continue
+			}
+			if !d.Reachable(src) {
+				continue
+			}
+			if CountForwardingPaths(g, d, src, nil) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCountPaths(b *testing.B) {
+	g, err := topo.Generate(topo.GenConfig{N: 2000, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := Compute(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := NewPathCounter(g, d, nil)
+		pc.Count(1 + i%(g.N()-1))
+	}
+}

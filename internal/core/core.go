@@ -1,0 +1,310 @@
+// Package core implements MIFO's control side: the per-AS MIFO daemon the
+// paper prototypes as a XORP module, and a Deployment that assembles a
+// whole multi-AS router network (data plane included) from an AS-level
+// topology and BGP routing tables.
+//
+// The daemon does three things, mirroring Section III and Fig. 10:
+//
+//  1. It mines the local BGP RIB for alternative paths — no protocol
+//     changes, no extra messages (Section II-B).
+//  2. It monitors the spare capacity of directly connected inter-AS links
+//     — the paper's greedy substitute for end-to-end path measurement
+//     (Section III-C) — and shares the measurements among the AS's border
+//     routers (the iBGP measurement exchange).
+//  3. It installs/updates the 'alt' port of the data-plane FIB so the
+//     forwarding engine can deflect packets at line speed.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bgp"
+	"repro/internal/dataplane"
+	"repro/internal/lpm"
+	"repro/internal/topo"
+)
+
+// Config parameterizes a Deployment.
+type Config struct {
+	// LinkCapacityBps is the capacity of every inter-AS link.
+	// Default 1 Gbps, as in the paper's simulations.
+	LinkCapacityBps float64
+	// Capable marks MIFO-capable ASes; nil means full deployment.
+	Capable []bool
+	// ExpandASes lists ASes expanded to router level: one border router
+	// per inter-AS link, full-mesh iBGP (the paper does this for tier-1
+	// ASes in Section IV). All other ASes get a single border router.
+	ExpandASes []int
+	// CongestionThreshold overrides the routers' queue-ratio threshold
+	// when > 0.
+	CongestionThreshold float64
+	// UsePrefixFIB programs routers with longest-prefix-match tables
+	// (internal/lpm) instead of dense identifier maps: destination d is
+	// installed as the prefix PrefixAddr(d)/32, the representation the
+	// paper's kernel fib_table uses.
+	UsePrefixFIB bool
+}
+
+// Deployment is a fully wired MIFO network: the AS graph, the router-level
+// data plane, and one daemon per AS.
+type Deployment struct {
+	Graph *topo.Graph
+	Net   *dataplane.Network
+	cfg   Config
+
+	// routersOf[v] lists the border routers of AS v.
+	routersOf [][]dataplane.RouterID
+	// egress[v][u] locates AS v's eBGP attachment towards neighbor AS u.
+	egress []map[int32]portRef
+	// ibgp[r][s] is the iBGP port on router r facing sibling router s.
+	ibgp map[dataplane.RouterID]map[dataplane.RouterID]int
+
+	daemons []*Daemon // indexed by AS; nil for non-capable ASes
+	// tables holds the installed per-destination routing tables, guarded
+	// for concurrent access by the Runtime's daemon goroutines.
+	tablesMu sync.RWMutex
+	tables   map[int32]*bgp.Dest
+}
+
+type portRef struct {
+	router dataplane.RouterID
+	port   int
+}
+
+// NewDeployment builds the router network for graph g: routers, eBGP links
+// with relationships and capacities, iBGP full meshes for expanded ASes,
+// and a MIFO daemon on every capable AS. Non-capable ASes run legacy
+// routers (forwarding engine present, MIFO disabled).
+func NewDeployment(g *topo.Graph, cfg Config) *Deployment {
+	if cfg.LinkCapacityBps <= 0 {
+		cfg.LinkCapacityBps = 1e9
+	}
+	d := &Deployment{
+		Graph:     g,
+		Net:       dataplane.NewNetwork(),
+		cfg:       cfg,
+		routersOf: make([][]dataplane.RouterID, g.N()),
+		egress:    make([]map[int32]portRef, g.N()),
+		daemons:   make([]*Daemon, g.N()),
+		ibgp:      make(map[dataplane.RouterID]map[dataplane.RouterID]int),
+		tables:    make(map[int32]*bgp.Dest),
+	}
+	expanded := make([]bool, g.N())
+	for _, v := range cfg.ExpandASes {
+		expanded[v] = true
+	}
+	capable := func(v int) bool { return cfg.Capable == nil || cfg.Capable[v] }
+
+	// Create routers: one per inter-AS link for expanded ASes, one otherwise.
+	for v := 0; v < g.N(); v++ {
+		count := 1
+		if expanded[v] && g.Degree(v) > 1 {
+			count = g.Degree(v)
+		}
+		for i := 0; i < count; i++ {
+			r := d.Net.AddRouter(int32(v))
+			r.MIFOEnabled = capable(v)
+			if cfg.CongestionThreshold > 0 {
+				r.CongestionThreshold = cfg.CongestionThreshold
+			}
+			if cfg.UsePrefixFIB {
+				r.PrefixFIB = lpm.New[dataplane.FIBEntry]()
+			}
+			d.routersOf[v] = append(d.routersOf[v], r.ID)
+		}
+		d.egress[v] = make(map[int32]portRef, g.Degree(v))
+	}
+
+	// eBGP links. Expanded ASes dedicate one router per link, assigned in
+	// neighbor order.
+	next := make([]int, g.N()) // next unused router slot for expanded ASes
+	slot := func(v int) dataplane.RouterID {
+		rs := d.routersOf[v]
+		if len(rs) == 1 {
+			return rs[0]
+		}
+		id := rs[next[v]%len(rs)]
+		next[v]++
+		return id
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, nb := range g.Neighbors(v) {
+			u := int(nb.AS)
+			if u < v {
+				continue // each undirected link wired once
+			}
+			rv, ru := slot(v), slot(u)
+			pv, pu := d.Net.Connect(rv, ru, dataplane.EBGP, nb.Rel, cfg.LinkCapacityBps)
+			d.egress[v][nb.AS] = portRef{router: rv, port: pv}
+			d.egress[u][int32(v)] = portRef{router: ru, port: pu}
+		}
+	}
+
+	// iBGP full meshes.
+	for v := 0; v < g.N(); v++ {
+		rs := d.routersOf[v]
+		for i := 0; i < len(rs); i++ {
+			for j := i + 1; j < len(rs); j++ {
+				pi, pj := d.Net.Connect(rs[i], rs[j], dataplane.IBGP, topo.Peer, 10*cfg.LinkCapacityBps)
+				d.ibgpSet(rs[i], rs[j], pi)
+				d.ibgpSet(rs[j], rs[i], pj)
+			}
+		}
+	}
+
+	// Daemons on capable ASes.
+	for v := 0; v < g.N(); v++ {
+		if capable(v) {
+			d.daemons[v] = newDaemon(d, v)
+		}
+	}
+	return d
+}
+
+func (d *Deployment) ibgpSet(r, sibling dataplane.RouterID, port int) {
+	m := d.ibgp[r]
+	if m == nil {
+		m = make(map[dataplane.RouterID]int)
+		d.ibgp[r] = m
+	}
+	m[sibling] = port
+}
+
+// Routers returns the border routers of AS v.
+func (d *Deployment) Routers(v int) []*dataplane.Router {
+	out := make([]*dataplane.Router, len(d.routersOf[v]))
+	for i, id := range d.routersOf[v] {
+		out[i] = d.Net.Router(id)
+	}
+	return out
+}
+
+// Daemon returns AS v's MIFO daemon, or nil when v is legacy.
+func (d *Deployment) Daemon(v int) *Daemon { return d.daemons[v] }
+
+// EgressPort locates AS v's attachment towards neighbor u.
+func (d *Deployment) EgressPort(v, u int) (*dataplane.Router, int, error) {
+	ref, ok := d.egress[v][int32(u)]
+	if !ok {
+		return nil, 0, fmt.Errorf("core: AS %d has no link to AS %d", v, u)
+	}
+	return d.Net.Router(ref.router), ref.port, nil
+}
+
+// InstallDestination programs every router's FIB with the default route for
+// table t's destination and records the table for later daemon refreshes.
+// Routers of the destination AS deliver locally. ASes without a route get
+// no entry (their packets drop as no-route, matching an empty BGP table).
+func (d *Deployment) InstallDestination(t *bgp.Dest) {
+	dst := int32(t.Dst())
+	d.tablesMu.Lock()
+	d.tables[dst] = t
+	d.tablesMu.Unlock()
+	for _, id := range d.routersOf[t.Dst()] {
+		d.Net.Router(id).Local[dst] = true
+	}
+	for v := 0; v < d.Graph.N(); v++ {
+		if v == t.Dst() || !t.Reachable(v) {
+			continue
+		}
+		ref := d.egress[v][int32(t.NextHop(v))]
+		for _, id := range d.routersOf[v] {
+			if id == ref.router {
+				d.setEntry(id, dst, dataplane.FIBEntry{Out: ref.port, Alt: -1, AltVia: -1})
+			} else {
+				d.setEntry(id, dst, dataplane.FIBEntry{
+					Out: d.ibgp[id][ref.router], Alt: -1, AltVia: ref.router,
+				})
+			}
+		}
+	}
+}
+
+// setEntry installs a forwarding entry in whichever FIB representation the
+// deployment uses.
+func (d *Deployment) setEntry(id dataplane.RouterID, dst int32, e dataplane.FIBEntry) {
+	r := d.Net.Router(id)
+	if r.PrefixFIB != nil {
+		// Installation of a /32 cannot fail: the address has no host bits
+		// beyond the mask.
+		if err := r.PrefixFIB.Insert(dataplane.PrefixAddr(dst), 32, e); err != nil {
+			panic("core: prefix install: " + err.Error())
+		}
+		return
+	}
+	r.FIB.Set(dst, e)
+}
+
+// setAlt rewrites only the alternative of an existing entry.
+func (d *Deployment) setAlt(id dataplane.RouterID, dst int32, alt int, via dataplane.RouterID) bool {
+	r := d.Net.Router(id)
+	if r.PrefixFIB != nil {
+		return r.PrefixFIB.Update(dataplane.PrefixAddr(dst), 32, func(e dataplane.FIBEntry) dataplane.FIBEntry {
+			e.Alt = alt
+			e.AltVia = via
+			return e
+		})
+	}
+	if _, ok := r.FIB.Lookup(dst); !ok {
+		return false
+	}
+	r.FIB.SetAlt(dst, alt, via)
+	return true
+}
+
+// SetLinkLoad records the directional load (bits/s) on the link from AS v
+// to AS u: the egress router's utilization and tx-queue ratio are updated,
+// which is both the congestion signal and the daemon's measurement input.
+func (d *Deployment) SetLinkLoad(v, u int, bps float64) error {
+	ref, ok := d.egress[v][int32(u)]
+	if !ok {
+		return fmt.Errorf("core: AS %d has no link to AS %d", v, u)
+	}
+	r := d.Net.Router(ref.router)
+	r.SetUtilization(ref.port, bps)
+	ratio := bps / r.Ports[ref.port].CapacityBps
+	if ratio > 1 {
+		ratio = 1
+	}
+	r.SetQueueRatio(ref.port, ratio)
+	return nil
+}
+
+// ResetLoads clears all utilization and queue signals.
+func (d *Deployment) ResetLoads() {
+	for _, r := range d.Net.Routers {
+		for p := range r.Ports {
+			r.SetUtilization(p, 0)
+			r.SetQueueRatio(p, 0)
+		}
+	}
+}
+
+// Refresh runs every daemon once: alternative paths are re-selected from
+// the RIBs using current spare-capacity measurements, and FIB alt ports are
+// updated. Call it after load changes, as the periodic daemon would.
+func (d *Deployment) Refresh() {
+	tables := d.Tables()
+	for _, dm := range d.daemons {
+		if dm == nil {
+			continue
+		}
+		for _, t := range tables {
+			dm.RefreshDestination(t)
+		}
+	}
+}
+
+// Send forwards a packet from AS src towards dst through the data plane and
+// reports the outcome. Flows originate at the AS's first border router.
+func (d *Deployment) Send(flow dataplane.FlowKey, src, dst int) dataplane.Result {
+	p := &dataplane.Packet{Flow: flow, Dst: int32(dst)}
+	return d.Net.Send(p, d.routersOf[src][0])
+}
+
+// almostEqual guards float comparisons in tie-breaks.
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/dataplane"
+)
+
+// Daemon is one AS's MIFO daemon. In the paper's prototype this is a XORP
+// module per border router; here one daemon manages all border routers of
+// an AS, which models the iBGP measurement exchange (each pair of border
+// routers is an iBGP peer and shares link measurements over the existing
+// TCP session, Section III-C).
+type Daemon struct {
+	dep *Deployment
+	as  int
+}
+
+func newDaemon(dep *Deployment, as int) *Daemon {
+	return &Daemon{dep: dep, as: as}
+}
+
+// AS returns the AS this daemon serves.
+func (dm *Daemon) AS() int { return dm.as }
+
+// Selection is the daemon's choice of alternative path for one destination.
+type Selection struct {
+	// Alt is the chosen RIB alternative.
+	Alt bgp.Alt
+	// Router owns the eBGP port to Alt.Via.
+	Router dataplane.RouterID
+	// Port is that eBGP port's index.
+	Port int
+	// SpareBps is the measured spare capacity of the local link — the
+	// greedy proxy for path available bandwidth.
+	SpareBps float64
+}
+
+// SelectAlternative implements Section III-C's greedy choice: among the
+// RIB's alternatives (every entry except the default route), pick the one
+// whose directly connected inter-AS link has the most spare capacity; ties
+// fall back to standard route preference. ok is false when the RIB offers
+// no alternative.
+func (dm *Daemon) SelectAlternative(t *bgp.Dest) (sel Selection, ok bool) {
+	if dm.as == t.Dst() || !t.Reachable(dm.as) {
+		return Selection{}, false
+	}
+	def := int32(t.NextHop(dm.as))
+	for _, alt := range bgp.RIB(dm.dep.Graph, t, dm.as) {
+		if alt.Via == def {
+			continue // the default route is not an alternative
+		}
+		ref, exists := dm.dep.egress[dm.as][alt.Via]
+		if !exists {
+			continue
+		}
+		r := dm.dep.Net.Router(ref.router)
+		spare := r.SpareCapacity(ref.port)
+		cand := Selection{Alt: alt, Router: ref.router, Port: ref.port, SpareBps: spare}
+		if !ok || better(cand, sel) {
+			sel, ok = cand, true
+		}
+	}
+	return sel, ok
+}
+
+func better(a, b Selection) bool {
+	if !almostEqual(a.SpareBps, b.SpareBps) {
+		return a.SpareBps > b.SpareBps
+	}
+	return a.Alt.Better(b.Alt)
+}
+
+// RefreshDestination re-selects the alternative for one destination and
+// rewrites the alt port on every border router of the AS: the router owning
+// the chosen link points its alt at the eBGP port; every sibling points its
+// alt at the iBGP port towards that owner (packets will be IP-in-IP
+// encapsulated to it).
+func (dm *Daemon) RefreshDestination(t *bgp.Dest) {
+	dst := int32(t.Dst())
+	sel, ok := dm.SelectAlternative(t)
+	rs := dm.dep.routersOf[dm.as]
+	if !ok {
+		for _, id := range rs {
+			dm.dep.setAlt(id, dst, -1, -1)
+		}
+		return
+	}
+	for _, id := range rs {
+		if id == sel.Router {
+			r := dm.dep.Net.Router(id)
+			dm.dep.setAlt(id, dst, sel.Port, r.Ports[sel.Port].Peer)
+		} else {
+			dm.dep.setAlt(id, dst, dm.dep.ibgp[id][sel.Router], sel.Router)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// Meter estimates a link's transmit rate from byte observations with an
+// exponentially weighted moving average — the MIFO daemon's "constantly
+// collects available link capacity from the data plane" (Fig. 10) without
+// any per-packet cost beyond a counter.
+type Meter struct {
+	mu sync.Mutex
+	// halfLife is the EWMA half-life in seconds.
+	halfLife float64
+	rate     float64 // bits per second
+	lastAt   float64
+	started  bool
+}
+
+// NewMeter returns a meter with the given half-life (seconds; default 0.5).
+func NewMeter(halfLife float64) *Meter {
+	if halfLife <= 0 {
+		halfLife = 0.5
+	}
+	return &Meter{halfLife: halfLife}
+}
+
+// Observe records that `bits` were sent during the interval ending at
+// time `now` (seconds, any monotonic origin). Calls must have
+// non-decreasing now.
+func (m *Meter) Observe(bits float64, now float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		m.started = true
+		m.lastAt = now
+		return
+	}
+	dt := now - m.lastAt
+	if dt <= 0 {
+		m.rate += bits // same instant: accumulate
+		return
+	}
+	inst := bits / dt
+	w := math.Exp2(-dt / m.halfLife)
+	m.rate = w*m.rate + (1-w)*inst
+	m.lastAt = now
+}
+
+// Rate returns the current estimate in bits per second, decayed to `now`.
+func (m *Meter) Rate(now float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return 0
+	}
+	dt := now - m.lastAt
+	if dt <= 0 {
+		return m.rate
+	}
+	// No observations since lastAt: the estimate decays toward zero.
+	return m.rate * math.Exp2(-dt/m.halfLife)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeterConvergesToSteadyRate(t *testing.T) {
+	m := NewMeter(0.5)
+	// 1 Mbit every 10 ms = 100 Mbit/s steady.
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		now += 0.01
+		m.Observe(1e6, now)
+	}
+	got := m.Rate(now)
+	if math.Abs(got-1e8) > 5e6 {
+		t.Errorf("steady rate = %v, want ~1e8", got)
+	}
+}
+
+func TestMeterDecaysWhenIdle(t *testing.T) {
+	m := NewMeter(0.25)
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		now += 0.01
+		m.Observe(1e6, now)
+	}
+	busy := m.Rate(now)
+	idleHalf := m.Rate(now + 0.25)
+	idleLong := m.Rate(now + 5)
+	if math.Abs(idleHalf-busy/2) > busy/10 {
+		t.Errorf("after one half-life rate = %v, want ~%v", idleHalf, busy/2)
+	}
+	if idleLong > busy/100 {
+		t.Errorf("after 20 half-lives rate = %v, want near zero", idleLong)
+	}
+}
+
+func TestMeterTracksRateChanges(t *testing.T) {
+	m := NewMeter(0.2)
+	now := 0.0
+	for i := 0; i < 300; i++ {
+		now += 0.01
+		m.Observe(1e6, now) // 100 Mbit/s
+	}
+	for i := 0; i < 300; i++ {
+		now += 0.01
+		m.Observe(5e6, now) // 500 Mbit/s
+	}
+	if got := m.Rate(now); math.Abs(got-5e8) > 5e7 {
+		t.Errorf("after rate change = %v, want ~5e8", got)
+	}
+}
+
+func TestMeterEdgeCases(t *testing.T) {
+	m := NewMeter(0)
+	if m.Rate(0) != 0 {
+		t.Error("fresh meter should read 0")
+	}
+	m.Observe(1e6, 1)
+	// First observation only sets the clock.
+	if m.Rate(1) != 0 {
+		t.Errorf("rate after first observation = %v, want 0", m.Rate(1))
+	}
+	// Same-instant observations accumulate instead of dividing by zero.
+	m.Observe(1e6, 2)
+	m.Observe(1e6, 2)
+	if r := m.Rate(2); math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("degenerate rate %v", r)
+	}
+}

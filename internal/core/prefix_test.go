@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/dataplane"
+)
+
+// The prefix-FIB deployment must behave identically to the dense one —
+// same default forwarding, same daemon-driven deflection — with routes
+// resolved by longest-prefix match on real addresses.
+func TestPrefixFIBDeploymentEquivalence(t *testing.T) {
+	g := fig2aGraph(t)
+	table := bgp.Compute(g, 0)
+
+	dense := NewDeployment(g, Config{})
+	dense.InstallDestination(table)
+	prefix := NewDeployment(g, Config{UsePrefixFIB: true})
+	prefix.InstallDestination(table)
+
+	send := func(d *Deployment, src int) dataplane.Result {
+		p := &dataplane.Packet{
+			Flow: dataplane.FlowKey{
+				SrcAddr: uint32(src),
+				DstAddr: dataplane.PrefixAddr(0), // LPM resolves on this
+			},
+			Dst: 0,
+		}
+		return d.Net.Send(p, d.Routers(src)[0].ID)
+	}
+
+	for src := 1; src <= 3; src++ {
+		a, b := send(dense, src), send(prefix, src)
+		if a.Verdict != b.Verdict || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("src %d: dense %v/%d hops vs prefix %v/%d hops",
+				src, a.Verdict, len(a.Hops), b.Verdict, len(b.Hops))
+		}
+	}
+
+	// Congestion + daemon refresh must deflect identically.
+	for _, d := range []*Deployment{dense, prefix} {
+		if err := d.SetLinkLoad(1, 0, 1e9); err != nil {
+			t.Fatal(err)
+		}
+		d.Refresh()
+	}
+	a, b := send(dense, 1), send(prefix, 1)
+	if a.Deflections != 1 || b.Deflections != a.Deflections {
+		t.Fatalf("deflections: dense %d, prefix %d, want 1", a.Deflections, b.Deflections)
+	}
+	pa, pb := a.ASPath(dense.Net), b.ASPath(prefix.Net)
+	if len(pa) != len(pb) {
+		t.Fatalf("paths differ: %v vs %v", pa, pb)
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("paths differ: %v vs %v", pa, pb)
+		}
+	}
+	// The prefix router really is using an LPM table.
+	if prefix.Routers(1)[0].PrefixFIB.Len() == 0 {
+		t.Fatal("prefix deployment installed nothing in the LPM table")
+	}
+}
+
+// Clearing alternatives works in prefix mode too.
+func TestPrefixFIBClearAlt(t *testing.T) {
+	g := fig2aGraph(t)
+	d := NewDeployment(g, Config{UsePrefixFIB: true})
+	table := bgp.Compute(g, 0)
+	d.InstallDestination(table)
+	d.SetLinkLoad(1, 0, 1e9)
+	d.Refresh()
+	r := d.Routers(1)[0]
+	e, ok := r.PrefixFIB.Lookup(dataplane.PrefixAddr(0))
+	if !ok || e.Alt < 0 {
+		t.Fatalf("alt not installed: %+v", e)
+	}
+	// With the whole RIB reduced to one route the daemon clears the alt.
+	// Simulate by clearing directly through the abstraction.
+	if !d.setAlt(r.ID, 0, -1, -1) {
+		t.Fatal("setAlt failed")
+	}
+	e, _ = r.PrefixFIB.Lookup(dataplane.PrefixAddr(0))
+	if e.Alt != -1 {
+		t.Fatalf("alt not cleared: %+v", e)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Runtime runs every daemon of a Deployment as its own goroutine, the way
+// the paper's prototype runs a XORP module per router: each daemon
+// periodically collects the data plane's link measurements and rewrites
+// its AS's alternative ports, concurrently with packet forwarding.
+//
+// The data plane is safe for this concurrency: FIB updates take a write
+// lock and the queue/utilization signals are atomics, mirroring the
+// kernel/daemon split of the prototype (Fig. 10).
+type Runtime struct {
+	dep      *Deployment
+	interval time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewRuntime wraps a deployment. interval is each daemon's measurement and
+// update period.
+func NewRuntime(dep *Deployment, interval time.Duration) *Runtime {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &Runtime{dep: dep, interval: interval}
+}
+
+// Start launches one goroutine per capable AS. It is a no-op if already
+// running.
+func (rt *Runtime) Start() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return
+	}
+	rt.started = true
+	rt.stop = make(chan struct{})
+	for _, dm := range rt.dep.daemons {
+		if dm == nil {
+			continue
+		}
+		rt.wg.Add(1)
+		go rt.loop(dm)
+	}
+}
+
+func (rt *Runtime) loop(dm *Daemon) {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			for _, t := range rt.dep.Tables() {
+				dm.RefreshDestination(t)
+			}
+		}
+	}
+}
+
+// Stop halts all daemon goroutines and waits for them to exit. It is a
+// no-op if not running.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if !rt.started {
+		rt.mu.Unlock()
+		return
+	}
+	rt.started = false
+	close(rt.stop)
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// Tables returns a snapshot of the installed per-destination routing
+// tables, safe to iterate while destinations are being added.
+func (d *Deployment) Tables() []*bgp.Dest {
+	d.tablesMu.RLock()
+	defer d.tablesMu.RUnlock()
+	out := make([]*bgp.Dest, 0, len(d.tables))
+	for _, t := range d.tables {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package dataplane
+
+import "repro/internal/topo"
+
+// Forward executes Algorithm 1 (the MIFO forwarding engine) for one packet
+// arriving on input port in (-1 for locally originated traffic). It mutates
+// the packet's tag and encapsulation headers exactly as a border router
+// would and returns the action to take.
+//
+// Note on line 11 of the paper's pseudocode: it reads
+// "isCongest(Iout) or s = GetNextHop(Ialt)", but the prose of Section III-B
+// compares the sender with the next hop of the *default* route ("If the
+// nexthop equals to sender ... the packet is deflected from the default
+// path"). We implement the prose; the pseudocode's Ialt is a typo (with
+// Ialt the comparison could never detect a bounce, since the sender sits on
+// the default path, not the alternative one).
+func (r *Router) Forward(p *Packet, in int) Action {
+	// Lines 1-3: strip the outer IP header of an encapsulated packet and
+	// remember the sender (an iBGP peer).
+	sender := RouterID(-1)
+	if p.Encap {
+		if p.OuterDst != r.ID {
+			// iBGP peers are directly connected (full mesh, Section IV);
+			// a foreign outer destination is a wiring error.
+			return Action{Verdict: VerdictDrop, Reason: DropNoRoute}
+		}
+		sender = p.OuterSrc
+		p.Encap = false
+		p.OuterSrc, p.OuterDst = -1, -1
+	}
+
+	// Local delivery: the packet reached its destination AS.
+	if r.Local[p.Dst] {
+		return Action{Verdict: VerdictDeliver}
+	}
+
+	// Line 4: FIB lookup — longest-prefix match on the destination
+	// address when a prefix FIB is installed, dense identifier otherwise.
+	var e FIBEntry
+	var ok bool
+	if r.PrefixFIB != nil {
+		e, ok = r.PrefixFIB.Lookup(p.Flow.DstAddr)
+	} else {
+		e, ok = r.FIB.Lookup(p.Dst)
+	}
+	if !ok {
+		return Action{Verdict: VerdictDrop, Reason: DropNoRoute}
+	}
+	if e.Out < 0 {
+		return Action{Verdict: VerdictDeliver}
+	}
+
+	// Lines 5-10: at the packet entering point, tag one bit with the
+	// relationship to the upstream neighbor. Locally originated traffic is
+	// tagged as if from a customer: the source AS may use any RIB path.
+	if in < 0 || r.Ports[in].Kind == Host {
+		p.Tag = true
+	} else if r.Ports[in].Kind == EBGP {
+		p.Tag = r.Ports[in].Rel == topo.Customer
+	}
+
+	// Line 11: deflect on congestion (for flows the hash policy selects)
+	// or when an iBGP peer bounced the packet to us because we own the
+	// alternative path (sender equals the default next hop).
+	bounced := sender >= 0 && sender == r.Ports[e.Out].Peer
+	congested := r.MIFOEnabled && r.Congested(e.Out) && r.deflect(p.Flow)
+	if (bounced || congested) && r.MIFOEnabled && e.Alt >= 0 {
+		alt := &r.Ports[e.Alt]
+		if alt.Kind == IBGP {
+			// Lines 12-15: the alternative egress is another border
+			// router; encapsulate and hand over.
+			p.Encap = true
+			p.OuterSrc = r.ID
+			p.OuterDst = e.AltVia
+			return Action{Verdict: VerdictForward, Port: e.Alt, Deflected: true}
+		}
+		// Lines 16-20: tag-check. The alternative is valley-free iff the
+		// downstream neighbor is a customer or the packet entered this AS
+		// from a customer.
+		if r.DisableTagCheck || alt.Rel == topo.Customer || p.Tag {
+			return Action{Verdict: VerdictForward, Port: e.Alt, Deflected: true}
+		}
+		return Action{Verdict: VerdictDrop, Reason: DropValleyFree}
+	}
+
+	// Line 22: default path.
+	return Action{Verdict: VerdictForward, Port: e.Out}
+}
+
+func (r *Router) deflect(k FlowKey) bool {
+	if r.Deflect == nil {
+		return true
+	}
+	return r.Deflect(k)
+}

@@ -1,0 +1,57 @@
+package dataplane_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataplane"
+	"repro/internal/topo"
+)
+
+// The Fig. 2(a) scenario as library usage: three peering ASes with a
+// shared customer, all defaults congested, the tag-check cutting the loop.
+func Example() {
+	n := dataplane.NewNetwork()
+	var r [4]*dataplane.Router
+	for as := int32(0); as < 4; as++ {
+		r[as] = n.AddRouter(as)
+	}
+	var toZero [4]int
+	for as := 1; as <= 3; as++ {
+		toZero[as], _ = n.Connect(r[as].ID, r[0].ID, dataplane.EBGP, topo.Customer, 1e9)
+	}
+	p12, _ := n.Connect(r[1].ID, r[2].ID, dataplane.EBGP, topo.Peer, 1e9)
+	p23, _ := n.Connect(r[2].ID, r[3].ID, dataplane.EBGP, topo.Peer, 1e9)
+	p31, _ := n.Connect(r[3].ID, r[1].ID, dataplane.EBGP, topo.Peer, 1e9)
+
+	r[0].Local[0] = true
+	r[1].FIB.Set(0, dataplane.FIBEntry{Out: toZero[1], Alt: p12, AltVia: r[2].ID})
+	r[2].FIB.Set(0, dataplane.FIBEntry{Out: toZero[2], Alt: p23, AltVia: r[3].ID})
+	r[3].FIB.Set(0, dataplane.FIBEntry{Out: toZero[3], Alt: p31, AltVia: r[1].ID})
+	for as := 1; as <= 3; as++ {
+		r[as].SetQueueRatio(toZero[as], 1.0) // all defaults congested
+	}
+
+	res := n.Send(&dataplane.Packet{
+		Flow: dataplane.FlowKey{SrcAddr: 1, DstAddr: dataplane.PrefixAddr(0)},
+		Dst:  0,
+	}, r[1].ID)
+	fmt.Println(res.Verdict, res.Reason)
+	// Output: drop valley-free
+}
+
+// Wire round trip: a tagged, encapsulated packet as a real IPv4 datagram.
+func ExampleMarshalPacket() {
+	p := &dataplane.Packet{
+		Flow:     dataplane.FlowKey{SrcAddr: dataplane.RouterAddr(1), DstAddr: dataplane.PrefixAddr(7), DstPort: 80, Proto: 6},
+		Dst:      7,
+		Tag:      true,
+		TTL:      64,
+		Encap:    true,
+		OuterSrc: 1,
+		OuterDst: 2,
+	}
+	wire := dataplane.MarshalPacket(p)
+	back, _ := dataplane.UnmarshalPacket(wire)
+	fmt.Println(back)
+	// Output: [IPinIP 10.0.0.1 > 10.0.0.2] 10.0.0.1:0 > 198.18.0.7:80 proto 6 dst-prefix=7 ttl=64 tag=1
+}

@@ -1,0 +1,94 @@
+package dataplane
+
+import (
+	"testing"
+
+	"repro/internal/lpm"
+	"repro/internal/topo"
+)
+
+// prefixNet wires two upstreams (default AS 2, alternative AS 3) behind
+// router A, with prefix-based FIBs: a covering /16 routed via the default
+// and one special /32 pinned to the alternative — a pure longest-prefix-
+// match decision that the dense FIB cannot express.
+func prefixNet(t *testing.T) (n *Network, a, b, c *Router) {
+	t.Helper()
+	n = NewNetwork()
+	a = n.AddRouter(1)
+	b = n.AddRouter(2)
+	c = n.AddRouter(3)
+	pab, _ := n.Connect(a.ID, b.ID, EBGP, topo.Customer, 1e9)
+	pac, _ := n.Connect(a.ID, c.ID, EBGP, topo.Customer, 1e9)
+
+	a.PrefixFIB = lpm.New[FIBEntry]()
+	if err := a.PrefixFIB.Insert(0xC6120000, 16, FIBEntry{Out: pab, Alt: pac, AltVia: c.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PrefixFIB.Insert(0xC6120042, 32, FIBEntry{Out: pac, Alt: -1, AltVia: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// B and C deliver everything they receive (stub providers).
+	b.PrefixFIB = lpm.New[FIBEntry]()
+	if err := b.PrefixFIB.Insert(0, 0, FIBEntry{Out: -1}); err != nil {
+		t.Fatal(err)
+	}
+	c.PrefixFIB = lpm.New[FIBEntry]()
+	if err := c.PrefixFIB.Insert(0, 0, FIBEntry{Out: -1}); err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b, c
+}
+
+func TestPrefixFIBLongestMatchRouting(t *testing.T) {
+	n, _, b, c := prefixNet(t)
+	// Generic address in the /16: via the default towards B.
+	res := n.Send(&Packet{Flow: FlowKey{SrcAddr: 9, DstAddr: 0xC6120001}, Dst: 0}, 0)
+	if res.Verdict != VerdictDeliver || res.At != b.ID {
+		t.Fatalf("generic address delivered at %v (%v), want B", res.At, res.Verdict)
+	}
+	// The pinned /32: longest match wins, via C.
+	res = n.Send(&Packet{Flow: FlowKey{SrcAddr: 9, DstAddr: 0xC6120042}, Dst: 0}, 0)
+	if res.Verdict != VerdictDeliver || res.At != c.ID {
+		t.Fatalf("pinned /32 delivered at %v (%v), want C", res.At, res.Verdict)
+	}
+	// Outside the table: no route.
+	res = n.Send(&Packet{Flow: FlowKey{SrcAddr: 9, DstAddr: 0x08080808}, Dst: 0}, 0)
+	if res.Verdict != VerdictDrop || res.Reason != DropNoRoute {
+		t.Fatalf("unknown address = %v/%v, want no-route", res.Verdict, res.Reason)
+	}
+}
+
+func TestPrefixFIBDeflection(t *testing.T) {
+	n, a, _, c := prefixNet(t)
+	a.SetQueueRatio(0, 1.0) // congest the default port towards B
+	res := n.Send(&Packet{Flow: FlowKey{SrcAddr: 9, DstAddr: 0xC6120001}, Dst: 0}, 0)
+	if res.Verdict != VerdictDeliver || res.At != c.ID {
+		t.Fatalf("congested default: delivered at %v, want deflection to C", res.At)
+	}
+	if res.Deflections != 1 {
+		t.Errorf("deflections = %d, want 1", res.Deflections)
+	}
+}
+
+// The daemon-style update path: rewrite only the alt of an existing prefix
+// under concurrent lookups (run with -race).
+func TestPrefixFIBConcurrentUpdate(t *testing.T) {
+	n, a, _, _ := prefixNet(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			a.PrefixFIB.Update(0xC6120000, 16, func(e FIBEntry) FIBEntry {
+				e.AltVia = RouterID(i % 3)
+				return e
+			})
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		res := n.Send(&Packet{Flow: FlowKey{SrcAddr: uint32(i), DstAddr: 0xC6120001}, Dst: 0}, 0)
+		if res.Verdict != VerdictDeliver {
+			t.Fatalf("iteration %d: %v", i, res.Verdict)
+		}
+	}
+	<-done
+}

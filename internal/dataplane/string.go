@@ -1,0 +1,47 @@
+package dataplane
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the five-tuple the way tcpdump would.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d proto %d",
+		ipString(k.SrcAddr), k.SrcPort, ipString(k.DstAddr), k.DstPort, k.Proto)
+}
+
+// String renders the packet with its MIFO state — tag bit and
+// encapsulation — for traces and demos.
+func (p *Packet) String() string {
+	var b strings.Builder
+	if p.Encap {
+		fmt.Fprintf(&b, "[IPinIP %s > %s] ", ipString(RouterAddr(p.OuterSrc)), ipString(RouterAddr(p.OuterDst)))
+	}
+	fmt.Fprintf(&b, "%s dst-prefix=%d ttl=%d", p.Flow, p.Dst, p.TTL)
+	if p.Tag {
+		b.WriteString(" tag=1")
+	} else {
+		b.WriteString(" tag=0")
+	}
+	return b.String()
+}
+
+// String summarizes an action.
+func (a Action) String() string {
+	switch a.Verdict {
+	case VerdictForward:
+		if a.Deflected {
+			return fmt.Sprintf("forward(port %d, deflected)", a.Port)
+		}
+		return fmt.Sprintf("forward(port %d)", a.Port)
+	case VerdictDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("drop(%s)", a.Reason)
+	}
+}
+
+func ipString(addr uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(addr>>24), byte(addr>>16), byte(addr>>8), byte(addr))
+}

@@ -1,0 +1,155 @@
+package dataplane
+
+// Section III-A4 discusses three concrete encodings for MIFO's one bit on
+// the wire: an unused bit of an MPLS label (MPLS is widely deployed inside
+// ASes and labels are pushed at the entering point and popped at the exit
+// point — exactly the tag's lifecycle), the reserved bit of the IPv4
+// header, or an IP option. The simulator carries the tag as a boolean;
+// these codecs show the bit actually fits each header and are used by the
+// wire-format tests.
+
+// WireHeader is the subset of header fields the tag encodings touch.
+type WireHeader struct {
+	// MPLSLabel is a full 32-bit MPLS stack entry:
+	// label(20) | TC(3) | S(1) | TTL(8).
+	MPLSLabel uint32
+	// IPv4FlagsFragment is the IPv4 flags+fragment-offset halfword; bit 15
+	// is the reserved flag.
+	IPv4FlagsFragment uint16
+	// Options is the IPv4 options area.
+	Options []byte
+}
+
+// TagCodec encodes and decodes the valley-free bit in a wire header.
+type TagCodec interface {
+	// Encode writes the tag into the header.
+	Encode(hdr *WireHeader, tag bool)
+	// Decode reads the tag back.
+	Decode(hdr *WireHeader) bool
+	// Name identifies the encoding.
+	Name() string
+}
+
+// MPLSTagCodec stores the tag in one bit of the 3-bit MPLS traffic-class
+// field (the paper: "consuming an unused bit in the label").
+type MPLSTagCodec struct {
+	// TCBit selects which TC bit to use (0-2).
+	TCBit uint
+}
+
+// Name implements TagCodec.
+func (c MPLSTagCodec) Name() string { return "mpls-tc" }
+
+func (c MPLSTagCodec) mask() uint32 {
+	bit := c.TCBit
+	if bit > 2 {
+		bit = 2
+	}
+	// TC occupies bits 9-11 of the label stack entry.
+	return 1 << (9 + bit)
+}
+
+// Encode implements TagCodec.
+func (c MPLSTagCodec) Encode(hdr *WireHeader, tag bool) {
+	if tag {
+		hdr.MPLSLabel |= c.mask()
+	} else {
+		hdr.MPLSLabel &^= c.mask()
+	}
+}
+
+// Decode implements TagCodec.
+func (c MPLSTagCodec) Decode(hdr *WireHeader) bool {
+	return hdr.MPLSLabel&c.mask() != 0
+}
+
+// IPReservedBitCodec stores the tag in the IPv4 header's reserved flag
+// (bit 15 of the flags/fragment halfword).
+type IPReservedBitCodec struct{}
+
+// Name implements TagCodec.
+func (IPReservedBitCodec) Name() string { return "ipv4-reserved-bit" }
+
+// Encode implements TagCodec.
+func (IPReservedBitCodec) Encode(hdr *WireHeader, tag bool) {
+	if tag {
+		hdr.IPv4FlagsFragment |= 1 << 15
+	} else {
+		hdr.IPv4FlagsFragment &^= 1 << 15
+	}
+}
+
+// Decode implements TagCodec.
+func (IPReservedBitCodec) Decode(hdr *WireHeader) bool {
+	return hdr.IPv4FlagsFragment&(1<<15) != 0
+}
+
+// IPOptionCodec stores the tag in a two-byte IPv4 option using an
+// experimental option number.
+type IPOptionCodec struct{}
+
+// mifoOptionType is copied-flag 1, class 2 (debugging/measurement),
+// number 30 (experimental).
+const mifoOptionType = 0x80 | 0x40 | 30
+
+// Name implements TagCodec.
+func (IPOptionCodec) Name() string { return "ipv4-option" }
+
+// Encode implements TagCodec. An existing MIFO option is rewritten in
+// place; otherwise a three-byte option is appended.
+func (IPOptionCodec) Encode(hdr *WireHeader, tag bool) {
+	v := byte(0)
+	if tag {
+		v = 1
+	}
+	if i := findOption(hdr.Options, mifoOptionType); i >= 0 {
+		hdr.Options[i+2] = v
+		return
+	}
+	hdr.Options = append(hdr.Options, mifoOptionType, 3, v)
+}
+
+// Decode implements TagCodec.
+func (IPOptionCodec) Decode(hdr *WireHeader) bool {
+	if i := findOption(hdr.Options, mifoOptionType); i >= 0 {
+		return hdr.Options[i+2] != 0
+	}
+	return false
+}
+
+// findOption returns the index of the option with the given type, walking
+// the options area per RFC 791 framing, or -1.
+func findOption(opts []byte, typ byte) int {
+	for i := 0; i < len(opts); {
+		if opts[i] == typ && i+2 < len(opts) {
+			return i
+		}
+		l := optLen(opts, i)
+		if l == 0 {
+			return -1
+		}
+		i += l
+	}
+	return -1
+}
+
+// optLen returns the length of the option starting at i (1 for the
+// single-byte padding/end options, 0 on malformed input).
+func optLen(opts []byte, i int) int {
+	if i >= len(opts) {
+		return 0
+	}
+	switch opts[i] {
+	case 0, 1: // end-of-options, no-op
+		return 1
+	}
+	if i+1 >= len(opts) || opts[i+1] < 2 {
+		return 0
+	}
+	return int(opts[i+1])
+}
+
+// Codecs lists every available tag encoding.
+func Codecs() []TagCodec {
+	return []TagCodec{MPLSTagCodec{}, IPReservedBitCodec{}, IPOptionCodec{}}
+}

@@ -1,0 +1,178 @@
+package eventq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	var q Queue
+	times := []float64{5, 1, 3, 2, 4}
+	for i, tm := range times {
+		q.Push(tm, i, nil)
+	}
+	var got []float64
+	for !q.Empty() {
+		got = append(got, q.Pop().Time)
+	}
+	want := append([]float64(nil), times...)
+	sort.Float64s(want)
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("pop %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(1.0, i, nil)
+	}
+	for i := 0; i < 10; i++ {
+		e := q.Pop()
+		if e.Kind != i {
+			t.Fatalf("tie-broken pop %d has kind %d, want %d", i, e.Kind, i)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	a := q.Push(1, 1, nil)
+	b := q.Push(2, 2, nil)
+	c := q.Push(3, 3, nil)
+	q.Cancel(b)
+	if e := q.Pop(); e != a {
+		t.Fatalf("first pop = %+v, want event a", e)
+	}
+	if e := q.Pop(); e != c {
+		t.Fatalf("second pop = %+v, want event c (b canceled)", e)
+	}
+	if e := q.Pop(); e != nil {
+		t.Fatalf("third pop = %+v, want nil", e)
+	}
+	// Double-cancel and cancel-after-pop are no-ops.
+	q.Cancel(b)
+	q.Cancel(a)
+	q.Cancel(nil)
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Fatal("peek of empty queue should be nil")
+	}
+	a := q.Push(2, 0, nil)
+	b := q.Push(1, 1, nil)
+	if q.Peek() != b {
+		t.Fatal("peek should return earliest event")
+	}
+	q.Cancel(b)
+	if q.Peek() != a {
+		t.Fatal("peek should skip canceled events")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d after draining canceled head, want 1", q.Len())
+	}
+}
+
+func TestEmptyAfterAllCanceled(t *testing.T) {
+	var q Queue
+	events := make([]*Event, 5)
+	for i := range events {
+		events[i] = q.Push(float64(i), i, nil)
+	}
+	for _, e := range events {
+		q.Cancel(e)
+	}
+	if !q.Empty() {
+		t.Fatal("queue with only canceled events should be Empty")
+	}
+	if e := q.Pop(); e != nil {
+		t.Fatalf("pop = %+v, want nil", e)
+	}
+}
+
+// Property: for any sequence of times, popping yields a non-decreasing order.
+func TestQuickSortedPops(t *testing.T) {
+	f := func(times []float64) bool {
+		var q Queue
+		for i, tm := range times {
+			q.Push(tm, i, nil)
+		}
+		prev := math.Inf(-1)
+		for !q.Empty() {
+			e := q.Pop()
+			if e.Time < prev {
+				return false
+			}
+			prev = e.Time
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved push/pop/cancel never loses or duplicates a live event.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		live := map[*Event]bool{}
+		for i := 0; i < int(n); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				e := q.Push(rng.Float64(), i, nil)
+				live[e] = true
+			case 1:
+				if e := q.Pop(); e != nil {
+					if !live[e] {
+						return false // popped a dead or unknown event
+					}
+					delete(live, e)
+				}
+			case 2:
+				for e := range live {
+					q.Cancel(e)
+					delete(live, e)
+					break
+				}
+			}
+		}
+		count := 0
+		for !q.Empty() {
+			e := q.Pop()
+			if !live[e] {
+				return false
+			}
+			delete(live, e)
+			count++
+		}
+		return len(live) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var q Queue
+	for i := 0; i < 1024; i++ {
+		q.Push(rng.Float64(), 0, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Pop()
+		q.Push(e.Time+rng.Float64(), 0, nil)
+	}
+}

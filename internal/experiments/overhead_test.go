@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestOverheadZeroForMIFO(t *testing.T) {
+	o, err := RunOverhead(Options{N: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MIFOExtraMessages != 0 {
+		t.Error("MIFO must add zero control-plane messages")
+	}
+	if o.BGPUpdatesPerPrefix < float64(200-1) {
+		t.Errorf("BGP updates per prefix = %v, must at least reach every AS", o.BGPUpdatesPerPrefix)
+	}
+	if o.MIROMessagesPerPair <= 0 {
+		t.Errorf("MIRO negotiation cost = %v, want positive", o.MIROMessagesPerPair)
+	}
+	if o.ReconvergenceSec <= 0 {
+		t.Errorf("reconvergence = %v, want positive", o.ReconvergenceSec)
+	}
+}

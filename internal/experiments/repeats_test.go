@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewStat(t *testing.T) {
+	s := newStat([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Errorf("stat = %+v", s)
+	}
+	if math.Abs(s.Std-1) > 1e-12 {
+		t.Errorf("std = %v, want 1", s.Std)
+	}
+	if got := s.String(); got != "2.0 ± 1.0" {
+		t.Errorf("string = %q", got)
+	}
+	if z := newStat(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty stat = %+v", z)
+	}
+	if one := newStat([]float64{5}); one.Std != 0 {
+		t.Errorf("single-sample std = %v", one.Std)
+	}
+}
+
+func TestRunRepeatedOrderingHolds(t *testing.T) {
+	r, err := RunRepeated(Options{N: 300, Flows: 600, ArrivalRate: 1500, Seed: 2}, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BGP", "MIRO", "MIFO"} {
+		s, ok := r.AtLeast500[name]
+		if !ok || s.N != 3 {
+			t.Fatalf("missing or short stat for %s: %+v", name, s)
+		}
+	}
+	// Mean ordering must hold across seeds, not just on one lucky draw.
+	if r.MeanMbps["MIFO"].Mean <= r.MeanMbps["BGP"].Mean {
+		t.Errorf("MIFO mean %v must beat BGP %v across seeds",
+			r.MeanMbps["MIFO"], r.MeanMbps["BGP"])
+	}
+	// MIFO's advantage over BGP should exceed seed noise.
+	gap := r.MeanMbps["MIFO"].Mean - r.MeanMbps["BGP"].Mean
+	noise := r.MeanMbps["MIFO"].Std + r.MeanMbps["BGP"].Std
+	if gap < noise/2 {
+		t.Errorf("MIFO-BGP gap %v within noise %v", gap, noise)
+	}
+}

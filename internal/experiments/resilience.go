@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Resilience is an extension experiment beyond the paper's evaluation,
+// motivated by its related work (R-BGP: "staying connected"): fail the
+// busiest inter-AS link mid-run and compare how long traffic stays
+// black-holed under each policy. MIFO's data-plane deflection reacts to a
+// dead egress instantly; BGP and MIRO wait out route reconvergence.
+type Resilience struct {
+	// FailedLink is the (A, B) link chosen for the failure.
+	FailedLink [2]int
+	// AffectedAtFailure is how many in-flight flows crossed it.
+	Rows []ResilienceRow
+}
+
+// ResilienceRow is one policy's outcome.
+type ResilienceRow struct {
+	Policy         string
+	AffectedFlows  int     // flows that stalled at all
+	MeanStallSec   float64 // over affected flows
+	MaxStallSec    float64
+	StalledForever int
+	MeanMbps       float64
+}
+
+// RunResilience executes the failure scenario for BGP, MIRO and MIFO.
+func RunResilience(o Options) (*Resilience, error) {
+	o = o.withDefaults()
+	g, err := Topology(o)
+	if err != nil {
+		return nil, err
+	}
+	flows, err := traffic.Uniform(traffic.UniformConfig{
+		N: g.N(), Flows: o.Flows, ArrivalRate: o.ArrivalRate, Seed: o.Seed + 1000,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick the busiest directed link over the default paths of the
+	// workload — the failure that hurts the most. The outage spans the
+	// middle third of the arrival horizon and reconvergence takes a
+	// quarter of the outage, so both the outage and the repair window are
+	// well represented.
+	a, b := busiestLink(g, flows, o.Workers)
+	horizon := flows[len(flows)-1].Arrival
+	failure := netsim.LinkFailure{A: a, B: b, At: horizon / 3, RecoverAt: 2 * horizon / 3}
+	delay := horizon / 12
+
+	out := &Resilience{FailedLink: [2]int{a, b}}
+	for _, pol := range []netsim.Policy{netsim.PolicyBGP, netsim.PolicyMIRO, netsim.PolicyMIFO} {
+		res, err := netsim.Run(g, flows, netsim.Config{
+			Policy:             pol,
+			Workers:            o.Workers,
+			Failures:           []netsim.LinkFailure{failure},
+			ReconvergenceDelay: delay,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: resilience %v: %v", pol, err)
+		}
+		row := ResilienceRow{Policy: pol.String(), MeanMbps: res.MeanThroughputMbps()}
+		stall := &metrics.CDF{}
+		for i := range res.Flows {
+			f := &res.Flows[i]
+			if f.Unroutable {
+				continue
+			}
+			if f.Stalled {
+				row.StalledForever++
+			}
+			if f.StalledTime > 0 {
+				row.AffectedFlows++
+				stall.Add(f.StalledTime)
+			}
+		}
+		if stall.N() > 0 {
+			row.MeanStallSec = stall.Mean()
+			row.MaxStallSec = stall.Max()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// busiestLink returns the busiest inter-AS link (by default-path
+// traversals of the workload) whose failure does NOT partition the policy
+// graph — there is no point comparing failover mechanisms on a failure
+// nothing can route around. Candidates are tried busiest-first; each is
+// verified by recomputing routes without the link and checking that the
+// flows crossing it can still reach their destinations.
+func busiestLink(g *topo.Graph, flows []traffic.Flow, workers int) (int, int) {
+	seen := map[int]bool{}
+	var dsts []int
+	for _, f := range flows {
+		if !seen[f.Dst] {
+			seen[f.Dst] = true
+			dsts = append(dsts, f.Dst)
+		}
+	}
+	tables := bgp.ComputeAll(g, dsts, workers)
+	byDst := make(map[int]*bgp.Dest, len(dsts))
+	for i, dst := range dsts {
+		byDst[dst] = tables[i]
+	}
+
+	type edge struct{ a, b int }
+	counts := map[edge]int{}
+	crossing := map[edge][]traffic.Flow{}
+	for _, f := range flows {
+		t := byDst[f.Dst]
+		if t == nil || !t.Reachable(f.Src) {
+			continue
+		}
+		path := t.ASPath(f.Src)
+		for i := 0; i+1 < len(path); i++ {
+			a, b := path[i], path[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			e := edge{a, b}
+			counts[e]++
+			if len(crossing[e]) < 16 {
+				crossing[e] = append(crossing[e], f)
+			}
+		}
+	}
+
+	// Order candidates by traversal count (deterministic tie-break).
+	candidates := make([]edge, 0, len(counts))
+	for e := range counts {
+		candidates = append(candidates, e)
+	}
+	for i := 1; i < len(candidates); i++ {
+		for j := i; j > 0; j-- {
+			a, b := candidates[j], candidates[j-1]
+			if counts[a] > counts[b] || (counts[a] == counts[b] &&
+				(a.a < b.a || (a.a == b.a && a.b < b.b))) {
+				candidates[j], candidates[j-1] = candidates[j-1], candidates[j]
+			} else {
+				break
+			}
+		}
+	}
+	if len(candidates) > 10 {
+		candidates = candidates[:10]
+	}
+	for _, e := range candidates {
+		removed, err := topo.RemoveLinks(g, []topo.LinkRef{{A: e.a, B: e.b}})
+		if err != nil {
+			continue
+		}
+		ok := true
+		repaired := map[int]*bgp.Dest{}
+		for _, f := range crossing[e] {
+			t, cached := repaired[f.Dst]
+			if !cached {
+				t = bgp.Compute(removed, f.Dst)
+				repaired[f.Dst] = t
+			}
+			if !t.Reachable(f.Src) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return e.a, e.b
+		}
+	}
+	// Fall back to the absolute busiest link.
+	if len(candidates) > 0 {
+		return candidates[0].a, candidates[0].b
+	}
+	return 0, 1
+}

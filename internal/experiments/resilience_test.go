@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestResilienceOrdering(t *testing.T) {
+	r, err := RunResilience(Options{N: 250, Flows: 600, ArrivalRate: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 policies", len(r.Rows))
+	}
+	byName := map[string]ResilienceRow{}
+	for _, row := range r.Rows {
+		byName[row.Policy] = row
+	}
+	bgpRow, mifoRow := byName["BGP"], byName["MIFO"]
+	if bgpRow.AffectedFlows == 0 {
+		t.Fatal("the busiest-link failure affected no BGP flow; scenario broken")
+	}
+	// BGP flows stall for up to the reconvergence delay (horizon/12 =
+	// 0.5 s here; arrivals mid-convergence stall proportionally less).
+	if bgpRow.MeanStallSec < 0.2 {
+		t.Errorf("BGP mean stall = %v s, want a substantial outage", bgpRow.MeanStallSec)
+	}
+	if bgpRow.MaxStallSec < 0.45 {
+		t.Errorf("BGP max stall = %v s, want ~the reconvergence delay", bgpRow.MaxStallSec)
+	}
+	// MIFO's data-plane failover must cut the outage dramatically: fewer
+	// affected flows and far less stalled time overall.
+	bgpTotal := bgpRow.MeanStallSec * float64(bgpRow.AffectedFlows)
+	mifoTotal := mifoRow.MeanStallSec * float64(mifoRow.AffectedFlows)
+	if mifoTotal > bgpTotal/2 {
+		t.Errorf("MIFO total stall %v s vs BGP %v s: failover not pulling its weight",
+			mifoTotal, bgpTotal)
+	}
+}
+
+func TestBusiestLinkIsReal(t *testing.T) {
+	o := Options{N: 150, Flows: 200, Seed: 5}.withDefaults()
+	g, err := Topology(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := uniformFor(o, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := busiestLink(g, fl, 0)
+	if !g.HasLink(a, b) {
+		t.Fatalf("busiest link (%d, %d) does not exist", a, b)
+	}
+}

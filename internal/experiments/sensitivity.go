@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"repro/internal/netsim"
+)
+
+// Sensitivity sweeps MIFO's two main control knobs — the congestion
+// threshold that triggers deflection and the control interval that paces
+// re-evaluation — and reports the headline throughput statistic for each
+// point. DESIGN.md calls these out as the design choices worth ablating;
+// this is the full curve behind the spot-check benchmarks.
+type Sensitivity struct {
+	// Thresholds rows: x = congestion threshold, y = % of flows ≥500 Mbps.
+	Thresholds []SensitivityRow
+	// Intervals rows: x = control interval (seconds), y likewise.
+	Intervals []SensitivityRow
+}
+
+// SensitivityRow is one sweep point.
+type SensitivityRow struct {
+	X          float64
+	AtLeast500 float64
+	Offload    float64
+}
+
+// RunSensitivity executes both sweeps on a fixed workload.
+func RunSensitivity(o Options) (*Sensitivity, error) {
+	o = o.withDefaults()
+	g, err := Topology(o)
+	if err != nil {
+		return nil, err
+	}
+	flows, err := uniformFor(o, g)
+	if err != nil {
+		return nil, err
+	}
+	out := &Sensitivity{}
+	run := func(cfg netsim.Config) (SensitivityRow, error) {
+		cfg.Policy = netsim.PolicyMIFO
+		cfg.Workers = o.Workers
+		res, err := netsim.Run(g, flows, cfg)
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		return SensitivityRow{
+			AtLeast500: 100 * res.FractionAtLeastMbps(500),
+			Offload:    100 * res.OffloadFraction(),
+		}, nil
+	}
+	for _, th := range []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99} {
+		row, err := run(netsim.Config{CongestionThreshold: th})
+		if err != nil {
+			return nil, err
+		}
+		row.X = th
+		out.Thresholds = append(out.Thresholds, row)
+	}
+	for _, ci := range []float64{0.002, 0.005, 0.02, 0.05, 0.2} {
+		row, err := run(netsim.Config{ControlInterval: ci})
+		if err != nil {
+			return nil, err
+		}
+		row.X = ci
+		out.Intervals = append(out.Intervals, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestRunSensitivity(t *testing.T) {
+	s, err := RunSensitivity(Options{N: 250, Flows: 500, ArrivalRate: 1500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Thresholds) != 6 || len(s.Intervals) != 5 {
+		t.Fatalf("rows = %d/%d", len(s.Thresholds), len(s.Intervals))
+	}
+	for _, r := range append(append([]SensitivityRow{}, s.Thresholds...), s.Intervals...) {
+		if r.AtLeast500 < 0 || r.AtLeast500 > 100 || r.Offload < 0 || r.Offload > 100 {
+			t.Fatalf("row out of range: %+v", r)
+		}
+	}
+	// Offload should fall as the threshold rises (fewer links count as
+	// congested); allow small non-monotonic wiggle.
+	first, last := s.Thresholds[0].Offload, s.Thresholds[len(s.Thresholds)-1].Offload
+	if last > first+5 {
+		t.Errorf("offload rose with threshold: %.1f%% -> %.1f%%", first, last)
+	}
+	// Faster control must not be materially worse than the slowest.
+	fast, slow := s.Intervals[0].AtLeast500, s.Intervals[len(s.Intervals)-1].AtLeast500
+	if fast < slow-5 {
+		t.Errorf("2ms epochs (%.1f%%) materially worse than 200ms (%.1f%%)", fast, slow)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// Strategy compares *who* should deploy MIFO first — an extension beyond
+// the paper, whose partial-deployment results (Figs. 5, 8) assume random
+// adopters. Since a deflection can only happen at a capable AS, and transit
+// hubs sit on most paths, deploying at the highest-degree ASes first should
+// yield far more benefit per adopter.
+type Strategy struct {
+	// Rows map deployment fraction to the ≥500 Mbps share and offload for
+	// each adopter-selection strategy.
+	Random, TopDegree []StrategyRow
+}
+
+// StrategyRow is one (deployment fraction, outcome) sample.
+type StrategyRow struct {
+	Deployment float64
+	AtLeast500 float64
+	Offload    float64
+	MeanMbps   float64
+}
+
+// TopDegreeMask marks the ceil(frac*N) highest-degree ASes as capable.
+func TopDegreeMask(g *topo.Graph, frac float64) []bool {
+	if frac >= 1 {
+		return nil
+	}
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	mask := make([]bool, g.N())
+	for _, v := range order[:int(frac*float64(g.N()))] {
+		mask[v] = true
+	}
+	return mask
+}
+
+// RunStrategy sweeps deployment 10%..50% under both adopter strategies.
+func RunStrategy(o Options) (*Strategy, error) {
+	o = o.withDefaults()
+	g, err := Topology(o)
+	if err != nil {
+		return nil, err
+	}
+	flows, err := uniformFor(o, g)
+	if err != nil {
+		return nil, err
+	}
+	out := &Strategy{}
+	for _, frac := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		for _, strat := range []string{"random", "top-degree"} {
+			var mask []bool
+			if strat == "random" {
+				mask = DeploymentMask(g.N(), frac, o.Seed+700)
+			} else {
+				mask = TopDegreeMask(g, frac)
+			}
+			res, err := netsim.Run(g, flows, netsim.Config{
+				Policy: netsim.PolicyMIFO, Capable: mask, Workers: o.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := StrategyRow{
+				Deployment: frac,
+				AtLeast500: res.FractionAtLeastMbps(500),
+				Offload:    res.OffloadFraction(),
+				MeanMbps:   res.MeanThroughputMbps(),
+			}
+			if strat == "random" {
+				out.Random = append(out.Random, row)
+			} else {
+				out.TopDegree = append(out.TopDegree, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Series renders the two strategies as plot series (x: deployment %, y:
+// % of flows >= 500 Mbps).
+func (s *Strategy) Series() []metrics.Series {
+	mk := func(name string, rows []StrategyRow) metrics.Series {
+		out := metrics.Series{Name: name}
+		for _, r := range rows {
+			out.Rows = append(out.Rows, metrics.Row{X: 100 * r.Deployment, Y: 100 * r.AtLeast500})
+		}
+		return out
+	}
+	return []metrics.Series{mk("random adopters", s.Random), mk("top-degree adopters", s.TopDegree)}
+}

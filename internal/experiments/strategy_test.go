@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestTopDegreeMask(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := TopDegreeMask(g, 0.1)
+	count, minCapable, maxLegacy := 0, 1<<30, 0
+	for v, c := range mask {
+		d := g.Degree(v)
+		if c {
+			count++
+			if d < minCapable {
+				minCapable = d
+			}
+		} else if d > maxLegacy {
+			maxLegacy = d
+		}
+	}
+	if count != 20 {
+		t.Fatalf("capable = %d, want 20", count)
+	}
+	// Degrees may tie at the boundary, but no legacy AS may strictly
+	// out-rank a capable one.
+	if maxLegacy > minCapable {
+		t.Errorf("legacy AS with degree %d outranks capable AS with %d", maxLegacy, minCapable)
+	}
+	if TopDegreeMask(g, 1.0) != nil {
+		t.Error("full deployment should be nil")
+	}
+}
+
+func TestStrategyTopDegreeWins(t *testing.T) {
+	s, err := RunStrategy(Options{N: 300, Flows: 800, ArrivalRate: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Random) != 5 || len(s.TopDegree) != 5 {
+		t.Fatalf("rows = %d/%d, want 5/5", len(s.Random), len(s.TopDegree))
+	}
+	// Aggregate over the sweep: targeting transit hubs must offload more
+	// and deliver at least as much throughput as random adoption.
+	var randOff, topOff, randMean, topMean float64
+	for i := range s.Random {
+		randOff += s.Random[i].Offload
+		topOff += s.TopDegree[i].Offload
+		randMean += s.Random[i].MeanMbps
+		topMean += s.TopDegree[i].MeanMbps
+	}
+	if topOff <= randOff {
+		t.Errorf("top-degree offload %v should exceed random %v", topOff, randOff)
+	}
+	if topMean < 0.98*randMean {
+		t.Errorf("top-degree mean %v markedly below random %v", topMean, randMean)
+	}
+	series := s.Series()
+	if len(series) != 2 || len(series[0].Rows) != 5 {
+		t.Errorf("series malformed: %+v", series)
+	}
+}

@@ -1,0 +1,204 @@
+// Package lpm implements an IPv4 longest-prefix-match table as a binary
+// trie — the lookup structure behind a real router FIB. The paper's
+// prototype modifies the Linux kernel's fib_table and re-implements
+// ip_mkroute_input(); this package is the corresponding substrate so the
+// forwarding engine can run on genuine prefixes instead of dense
+// destination identifiers.
+//
+// The table is safe for concurrent use: lookups take a read lock while the
+// MIFO daemon inserts and updates entries, matching the FE/daemon split.
+package lpm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// node is one binary-trie vertex. A node carries a value when a prefix
+// ends exactly here.
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// Table is a longest-prefix-match table from IPv4 prefixes to values.
+type Table[V any] struct {
+	mu   sync.RWMutex
+	root node[V]
+	n    int
+}
+
+// New returns an empty table.
+func New[V any]() *Table[V] { return &Table[V]{} }
+
+func checkPrefix(addr uint32, bits int) error {
+	if bits < 0 || bits > 32 {
+		return fmt.Errorf("lpm: prefix length %d out of range", bits)
+	}
+	if bits < 32 && addr<<bits != 0 {
+		return fmt.Errorf("lpm: %08x/%d has host bits set", addr, bits)
+	}
+	return nil
+}
+
+// Insert adds or replaces the value for addr/bits. Host bits must be zero.
+func (t *Table[V]) Insert(addr uint32, bits int, v V) error {
+	if err := checkPrefix(addr, bits); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := &t.root
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		if cur.child[b] == nil {
+			cur.child[b] = &node[V]{}
+		}
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		t.n++
+	}
+	cur.val = v
+	cur.set = true
+	return nil
+}
+
+// Remove deletes the exact prefix addr/bits and reports whether it existed.
+// Empty sub-tries are pruned.
+func (t *Table[V]) Remove(addr uint32, bits int) bool {
+	if checkPrefix(addr, bits) != nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	path := make([]*node[V], 0, bits+1)
+	cur := &t.root
+	path = append(path, cur)
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		if cur.child[b] == nil {
+			return false
+		}
+		cur = cur.child[b]
+		path = append(path, cur)
+	}
+	if !cur.set {
+		return false
+	}
+	var zero V
+	cur.val = zero
+	cur.set = false
+	t.n--
+	// Prune childless, valueless nodes bottom-up.
+	for i := len(path) - 1; i > 0; i-- {
+		nd := path[i]
+		if nd.set || nd.child[0] != nil || nd.child[1] != nil {
+			break
+		}
+		b := (addr >> (31 - (i - 1))) & 1
+		path[i-1].child[b] = nil
+	}
+	return true
+}
+
+// Lookup returns the value of the longest prefix covering addr.
+func (t *Table[V]) Lookup(addr uint32) (V, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var best V
+	found := false
+	cur := &t.root
+	for i := 0; ; i++ {
+		if cur.set {
+			best = cur.val
+			found = true
+		}
+		if i == 32 {
+			break
+		}
+		b := (addr >> (31 - i)) & 1
+		if cur.child[b] == nil {
+			break
+		}
+		cur = cur.child[b]
+	}
+	return best, found
+}
+
+// Exact returns the value stored at exactly addr/bits.
+func (t *Table[V]) Exact(addr uint32, bits int) (V, bool) {
+	var zero V
+	if checkPrefix(addr, bits) != nil {
+		return zero, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cur := &t.root
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		if cur.child[b] == nil {
+			return zero, false
+		}
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		return zero, false
+	}
+	return cur.val, true
+}
+
+// Update applies fn to the value stored at exactly addr/bits, if present,
+// under the write lock — the daemon's read-modify-write for alt ports.
+func (t *Table[V]) Update(addr uint32, bits int, fn func(V) V) bool {
+	if checkPrefix(addr, bits) != nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := &t.root
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		if cur.child[b] == nil {
+			return false
+		}
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		return false
+	}
+	cur.val = fn(cur.val)
+	return true
+}
+
+// Len returns the number of stored prefixes.
+func (t *Table[V]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// Walk visits every stored prefix in address order. The callback must not
+// mutate the table.
+func (t *Table[V]) Walk(fn func(addr uint32, bits int, v V) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.walk(&t.root, 0, 0, fn)
+}
+
+func (t *Table[V]) walk(nd *node[V], addr uint32, depth int, fn func(uint32, int, V) bool) bool {
+	if nd == nil {
+		return true
+	}
+	if nd.set && !fn(addr, depth, nd.val) {
+		return false
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(nd.child[0], addr, depth+1, fn) {
+		return false
+	}
+	return t.walk(nd.child[1], addr|1<<(31-depth), depth+1, fn)
+}

@@ -1,0 +1,240 @@
+package lpm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustInsert(t testing.TB, tb *Table[string], addr uint32, bits int, v string) {
+	t.Helper()
+	if err := tb.Insert(addr, bits, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicLongestMatch(t *testing.T) {
+	tb := New[string]()
+	mustInsert(t, tb, 0x0A000000, 8, "ten-slash-8")
+	mustInsert(t, tb, 0x0A010000, 16, "ten-one")
+	mustInsert(t, tb, 0x0A010100, 24, "ten-one-one")
+	mustInsert(t, tb, 0x00000000, 0, "default")
+
+	cases := []struct {
+		addr uint32
+		want string
+	}{
+		{0x0A010101, "ten-one-one"},
+		{0x0A010201, "ten-one"},
+		{0x0A020101, "ten-slash-8"},
+		{0x0B000001, "default"},
+	}
+	for _, c := range cases {
+		got, ok := tb.Lookup(c.addr)
+		if !ok || got != c.want {
+			t.Errorf("lookup %08x = %q,%v, want %q", c.addr, got, ok, c.want)
+		}
+	}
+	if tb.Len() != 4 {
+		t.Errorf("len = %d", tb.Len())
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	tb := New[int]()
+	mustInsert2 := tb.Insert(0xC0000000, 8, 1)
+	if mustInsert2 != nil {
+		t.Fatal(mustInsert2)
+	}
+	if _, ok := tb.Lookup(0x0A000001); ok {
+		t.Error("lookup outside any prefix must miss")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tb := New[int]()
+	if err := tb.Insert(0x0A000001, 8, 1); err == nil {
+		t.Error("host bits set must error")
+	}
+	if err := tb.Insert(0, -1, 1); err == nil {
+		t.Error("negative bits must error")
+	}
+	if err := tb.Insert(0, 33, 1); err == nil {
+		t.Error("bits > 32 must error")
+	}
+	if err := tb.Insert(0xFFFFFFFF, 32, 1); err != nil {
+		t.Errorf("/32 insert failed: %v", err)
+	}
+}
+
+func TestRemoveAndPrune(t *testing.T) {
+	tb := New[int]()
+	mustInsertInt(t, tb, 0x0A000000, 8, 1)
+	mustInsertInt(t, tb, 0x0A010000, 16, 2)
+	if !tb.Remove(0x0A010000, 16) {
+		t.Fatal("remove failed")
+	}
+	if tb.Remove(0x0A010000, 16) {
+		t.Fatal("double remove succeeded")
+	}
+	if got, _ := tb.Lookup(0x0A010101); got != 1 {
+		t.Errorf("after removal lookup = %d, want the /8", got)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("len = %d", tb.Len())
+	}
+	// Removing a prefix whose path exists but has no value.
+	if tb.Remove(0x0A000000, 6) {
+		t.Error("removed a prefix that was never inserted")
+	}
+}
+
+func mustInsertInt(t testing.TB, tb *Table[int], addr uint32, bits int, v int) {
+	t.Helper()
+	if err := tb.Insert(addr, bits, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactAndUpdate(t *testing.T) {
+	tb := New[int]()
+	mustInsertInt(t, tb, 0x0A000000, 8, 7)
+	if v, ok := tb.Exact(0x0A000000, 8); !ok || v != 7 {
+		t.Errorf("exact = %d,%v", v, ok)
+	}
+	if _, ok := tb.Exact(0x0A000000, 9); ok {
+		t.Error("exact with wrong length matched")
+	}
+	if !tb.Update(0x0A000000, 8, func(v int) int { return v + 1 }) {
+		t.Fatal("update failed")
+	}
+	if v, _ := tb.Exact(0x0A000000, 8); v != 8 {
+		t.Errorf("after update = %d", v)
+	}
+	if tb.Update(0x0B000000, 8, func(v int) int { return v }) {
+		t.Error("update of missing prefix succeeded")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	tb := New[int]()
+	prefixes := []struct {
+		addr uint32
+		bits int
+	}{
+		{0x0A000000, 8}, {0x00000000, 0}, {0xC0000000, 4}, {0x0A010000, 16},
+	}
+	for i, p := range prefixes {
+		mustInsertInt(t, tb, p.addr, p.bits, i)
+	}
+	var seen []uint32
+	tb.Walk(func(addr uint32, bits int, v int) bool {
+		seen = append(seen, addr)
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("walk visited %d, want 4", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("walk not in address order: %x", seen)
+		}
+	}
+	// Early termination.
+	count := 0
+	tb.Walk(func(uint32, int, int) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("walk did not stop early: %d", count)
+	}
+}
+
+// naive is the reference implementation: linear scan over prefixes.
+type naiveEntry struct {
+	addr uint32
+	bits int
+	val  int
+}
+
+func naiveLookup(entries []naiveEntry, addr uint32) (int, bool) {
+	best, bestBits, found := 0, -1, false
+	for _, e := range entries {
+		var mask uint32
+		if e.bits > 0 {
+			mask = ^uint32(0) << (32 - e.bits)
+		}
+		if addr&mask == e.addr && e.bits > bestBits {
+			best, bestBits, found = e.val, e.bits, true
+		}
+	}
+	return best, found
+}
+
+// Property: the trie agrees with the naive reference on random prefix sets
+// and random probes, including after removals.
+func TestQuickAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New[int]()
+		var entries []naiveEntry
+		for i := 0; i < 60; i++ {
+			bits := rng.Intn(33)
+			var addr uint32
+			if bits > 0 {
+				addr = rng.Uint32() &^ (^uint32(0) >> bits)
+			}
+			// Replace semantics on duplicates, in both implementations.
+			replaced := false
+			for j := range entries {
+				if entries[j].addr == addr && entries[j].bits == bits {
+					entries[j].val = i
+					replaced = true
+				}
+			}
+			if !replaced {
+				entries = append(entries, naiveEntry{addr, bits, i})
+			}
+			if err := tb.Insert(addr, bits, i); err != nil {
+				return false
+			}
+		}
+		// Random removals.
+		for i := 0; i < 15 && len(entries) > 0; i++ {
+			k := rng.Intn(len(entries))
+			e := entries[k]
+			if !tb.Remove(e.addr, e.bits) {
+				return false
+			}
+			entries = append(entries[:k], entries[k+1:]...)
+		}
+		if tb.Len() != len(entries) {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			addr := rng.Uint32()
+			wantV, wantOK := naiveLookup(entries, addr)
+			gotV, gotOK := tb.Lookup(addr)
+			if wantOK != gotOK || (wantOK && wantV != gotV) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tb := New[int]()
+	// A routing-table-like mix: /8 to /24.
+	for i := 0; i < 100000; i++ {
+		bits := 8 + rng.Intn(17)
+		addr := rng.Uint32() &^ (^uint32(0) >> bits)
+		tb.Insert(addr, bits, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(rng.Uint32())
+	}
+}

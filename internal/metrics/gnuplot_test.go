@@ -1,0 +1,33 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteGnuplot(t *testing.T) {
+	a := Series{Name: "alpha", Rows: []Row{{X: 1, Y: 2}}}
+	b := Series{Name: "beta", Rows: []Row{{X: 3, Y: 4}, {X: 5, Y: 6}}}
+	var buf bytes.Buffer
+	if err := WriteGnuplot(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# alpha") || !strings.Contains(out, "# beta") {
+		t.Fatalf("missing series headers:\n%s", out)
+	}
+	// Blocks must be separated by exactly one blank-line pair for
+	// gnuplot's `index` selection.
+	if !strings.Contains(out, "2.00\n\n\n# beta") {
+		t.Fatalf("blocks not separated by two newlines:\n%q", out)
+	}
+	// Single series: no separator.
+	buf.Reset()
+	if err := WriteGnuplot(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\n\n\n") {
+		t.Error("single series should have no separator")
+	}
+}

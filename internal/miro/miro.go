@@ -1,0 +1,135 @@
+// Package miro implements the MIRO baseline (Xu & Rexford, SIGCOMM 2006)
+// the paper compares against: multi-path interdomain routing on the control
+// plane, where a source AS negotiates alternative routes with ASes on its
+// default path and traffic is tunneled to the chosen deviation point.
+//
+// Following Section IV of the MIFO paper, we adopt MIRO's *strict* policy:
+// an AS only offers alternatives with the same local preference (route
+// class) as its default route, and for scalability it advertises at most
+// MaxAlternatives routes per destination. Both negotiation endpoints (the
+// source and the deviation AS) must be MIRO-capable.
+package miro
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/topo"
+)
+
+// Config parameterizes the MIRO baseline.
+type Config struct {
+	// MaxAlternatives is the per-destination cap on alternative routes an
+	// AS will offer during negotiation (MIRO's scalability limit).
+	MaxAlternatives int
+}
+
+// DefaultConfig mirrors the strict policy used in the paper's evaluation.
+func DefaultConfig() Config { return Config{MaxAlternatives: 2} }
+
+func (c Config) maxAlts() int {
+	if c.MaxAlternatives <= 0 {
+		return 2
+	}
+	return c.MaxAlternatives
+}
+
+// offeredAlts returns the alternatives AS u is willing to offer for d's
+// destination under the strict policy: RIB entries other than the default
+// whose class equals the default's class, capped at MaxAlternatives.
+func (c Config) offeredAlts(g *topo.Graph, d *bgp.Dest, u int) []bgp.Alt {
+	rib := bgp.RIB(g, d, u)
+	if len(rib) <= 1 {
+		return nil
+	}
+	def := rib[0]
+	var out []bgp.Alt
+	for _, alt := range rib[1:] {
+		if alt.Class != def.Class {
+			continue
+		}
+		out = append(out, alt)
+		if len(out) >= c.maxAlts() {
+			break
+		}
+	}
+	return out
+}
+
+// AvailablePaths counts the AS-level paths usable by the pair (src, d.Dst())
+// under MIRO: the default path plus every alternative negotiable with a
+// capable AS on the default path. capable == nil means full deployment.
+func (c Config) AvailablePaths(g *topo.Graph, d *bgp.Dest, src int, capable []bool) uint64 {
+	if src == d.Dst() {
+		return 1
+	}
+	if !d.Reachable(src) {
+		return 0
+	}
+	isCap := func(v int) bool { return capable == nil || capable[v] }
+	count := uint64(1) // the default path
+	if !isCap(src) {
+		return count // the source cannot negotiate
+	}
+	for _, u := range d.ASPath(src) {
+		if u == d.Dst() || !isCap(u) {
+			continue
+		}
+		count += uint64(len(c.offeredAlts(g, d, u)))
+	}
+	return count
+}
+
+// Alternate is one negotiated MIRO path: the deviation AS and the full
+// AS-level path from the source through it.
+type Alternate struct {
+	// Deviate is the AS at which the path departs from the default route.
+	Deviate int
+	// Path is the complete AS path [src, ..., dst].
+	Path []int
+}
+
+// Alternates enumerates the negotiated alternative paths for (src, dst):
+// for every capable AS u on the default path, each offered alternative is
+// spliced as default-prefix + u's alternative route. The default path
+// itself is not included. Paths that would revisit an AS are discarded
+// (MIRO verifies loop-freedom during negotiation).
+func (c Config) Alternates(g *topo.Graph, d *bgp.Dest, src int, capable []bool) []Alternate {
+	if src == d.Dst() || !d.Reachable(src) {
+		return nil
+	}
+	isCap := func(v int) bool { return capable == nil || capable[v] }
+	if !isCap(src) {
+		return nil
+	}
+	def := d.ASPath(src)
+	var out []Alternate
+	for i, u := range def {
+		if u == d.Dst() || !isCap(u) {
+			continue
+		}
+		for _, alt := range c.offeredAlts(g, d, u) {
+			suffix := bgp.PathVia(d, u, int(alt.Via))
+			if suffix == nil {
+				continue
+			}
+			path := make([]int, 0, i+len(suffix))
+			path = append(path, def[:i]...)
+			path = append(path, suffix...)
+			if hasDuplicate(path) {
+				continue
+			}
+			out = append(out, Alternate{Deviate: u, Path: path})
+		}
+	}
+	return out
+}
+
+func hasDuplicate(path []int) bool {
+	seen := make(map[int]struct{}, len(path))
+	for _, v := range path {
+		if _, ok := seen[v]; ok {
+			return true
+		}
+		seen[v] = struct{}{}
+	}
+	return false
+}

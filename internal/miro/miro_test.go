@@ -1,0 +1,190 @@
+package miro
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/topo"
+)
+
+// fig2a: ASes 1..3 peer; AS 0 is customer of all three.
+func fig2a(t testing.TB) *topo.Graph {
+	t.Helper()
+	g, err := topo.NewBuilder(4).
+		AddPC(1, 0).AddPC(2, 0).AddPC(3, 0).
+		AddPeer(1, 2).AddPeer(2, 3).AddPeer(1, 3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAvailablePathsStrictPolicy(t *testing.T) {
+	g := fig2a(t)
+	d := bgp.Compute(g, 0)
+	cfg := DefaultConfig()
+	// AS 1's default is the direct customer route (class customer); the
+	// peer alternatives via 2 and 3 have a different class, so the strict
+	// policy offers nothing. MIRO sees only the default path.
+	if got := cfg.AvailablePaths(g, d, 1, nil); got != 1 {
+		t.Errorf("AvailablePaths(1) = %d, want 1 under strict policy", got)
+	}
+}
+
+func TestAvailablePathsSameClassAlternatives(t *testing.T) {
+	// src 4 has two same-class (customer) routes: via 1 and via 2.
+	b := topo.NewBuilder(5)
+	b.AddPC(1, 0).AddPC(2, 0).AddPC(4, 1).AddPC(4, 2).AddPC(3, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bgp.Compute(g, 0)
+	cfg := DefaultConfig()
+	// Default from 4: customer via 1 (tie-break). Alternative via 2 has the
+	// same class -> offered. 1 default + 1 alternative.
+	if got := cfg.AvailablePaths(g, d, 4, nil); got != 2 {
+		t.Errorf("AvailablePaths(4) = %d, want 2", got)
+	}
+	// From 3 (provider of 4... actually 3 is 4's provider? AddPC(3,4): 3
+	// provides 4). 3's default goes through 4, which offers 1 alternative.
+	got := cfg.AvailablePaths(g, d, 3, nil)
+	if got < 2 {
+		t.Errorf("AvailablePaths(3) = %d, want >= 2 (deviation at 4)", got)
+	}
+}
+
+func TestAvailablePathsDeployment(t *testing.T) {
+	b := topo.NewBuilder(5)
+	b.AddPC(1, 0).AddPC(2, 0).AddPC(4, 1).AddPC(4, 2).AddPC(3, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bgp.Compute(g, 0)
+	cfg := DefaultConfig()
+
+	none := make([]bool, g.N())
+	if got := cfg.AvailablePaths(g, d, 4, none); got != 1 {
+		t.Errorf("no deployment: %d, want 1", got)
+	}
+	// Source capable but deviation AS not: still just the default.
+	srcOnly := make([]bool, g.N())
+	srcOnly[3] = true
+	if got := cfg.AvailablePaths(g, d, 3, srcOnly); got != 1 {
+		t.Errorf("src-only deployment: %d, want 1", got)
+	}
+	// Source not capable: cannot negotiate at all.
+	devOnly := make([]bool, g.N())
+	devOnly[4] = true
+	if got := cfg.AvailablePaths(g, d, 3, devOnly); got != 1 {
+		t.Errorf("deviation-only deployment: %d, want 1", got)
+	}
+	both := make([]bool, g.N())
+	both[3], both[4] = true, true
+	if got := cfg.AvailablePaths(g, d, 3, both); got != 2 {
+		t.Errorf("both capable: %d, want 2", got)
+	}
+}
+
+func TestMaxAlternativesCap(t *testing.T) {
+	// src 9 multi-homed to 5 providers, all with customer routes to 0.
+	b := topo.NewBuilder(10)
+	for p := 1; p <= 5; p++ {
+		b.AddPC(p, 0)
+		b.AddPC(p, 9)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bgp.Compute(g, 0)
+	cfg := Config{MaxAlternatives: 2}
+	// 4 same-class alternatives exist but only 2 are offered.
+	if got := cfg.AvailablePaths(g, d, 9, nil); got != 3 {
+		t.Errorf("AvailablePaths = %d, want 3 (default + 2 capped)", got)
+	}
+	uncapped := Config{MaxAlternatives: 10}
+	if got := uncapped.AvailablePaths(g, d, 9, nil); got != 5 {
+		t.Errorf("AvailablePaths = %d, want 5 with high cap", got)
+	}
+}
+
+func TestAlternatesPathsAreValid(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 300, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bgp.Compute(g, 0)
+	cfg := DefaultConfig()
+	total := 0
+	for src := 1; src < g.N(); src += 7 {
+		alts := cfg.Alternates(g, d, src, nil)
+		total += len(alts)
+		for _, a := range alts {
+			p := a.Path
+			if p[0] != src || p[len(p)-1] != 0 {
+				t.Fatalf("alternate path endpoints wrong: %v", p)
+			}
+			seen := map[int]bool{}
+			devFound := false
+			for i, v := range p {
+				if seen[v] {
+					t.Fatalf("alternate path revisits %d: %v", v, p)
+				}
+				seen[v] = true
+				if v == a.Deviate {
+					devFound = true
+				}
+				if i+1 < len(p) && !g.HasLink(v, p[i+1]) {
+					t.Fatalf("alternate path uses nonexistent link %d-%d", v, p[i+1])
+				}
+			}
+			if !devFound {
+				t.Fatalf("deviation AS %d not on path %v", a.Deviate, p)
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("generated topology yielded no MIRO alternates at all")
+	}
+}
+
+func TestAlternatesCountMatchesAvailablePaths(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 200, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bgp.Compute(g, 3)
+	cfg := DefaultConfig()
+	for src := 0; src < g.N(); src += 13 {
+		if src == 3 {
+			continue
+		}
+		alts := cfg.Alternates(g, d, src, nil)
+		want := cfg.AvailablePaths(g, d, src, nil)
+		// Alternates drops spliced paths that revisit an AS, so it may be
+		// smaller, never larger.
+		if uint64(len(alts))+1 > want {
+			t.Fatalf("src %d: %d alternates + default > AvailablePaths %d",
+				src, len(alts), want)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	g := fig2a(t)
+	d := bgp.Compute(g, 0)
+	cfg := DefaultConfig()
+	if got := cfg.AvailablePaths(g, d, 0, nil); got != 1 {
+		t.Errorf("src == dst should count 1, got %d", got)
+	}
+	if alts := cfg.Alternates(g, d, 0, nil); alts != nil {
+		t.Errorf("src == dst should have no alternates, got %v", alts)
+	}
+	var zero Config
+	if zero.maxAlts() != 2 {
+		t.Errorf("zero config cap = %d, want default 2", zero.maxAlts())
+	}
+}

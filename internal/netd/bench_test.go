@@ -1,0 +1,63 @@
+package netd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/dataplane"
+)
+
+// BenchmarkUDPForwarding measures end-to-end datagram throughput of the
+// socket fabric on the Fig. 2(a) topology (inject at AS 1, deliver at
+// AS 0, two sockets on the path).
+func BenchmarkUDPForwarding(b *testing.B) {
+	g := fig2aGraph(b)
+	dep := core.NewDeployment(g, core.Config{})
+	dep.InstallDestination(bgp.Compute(g, 0))
+	f, err := NewFabric(dep.Net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+	origin := dep.Routers(1)[0].ID
+
+	b.ResetTimer()
+	delivered := 0
+	for i := 0; i < b.N; i++ {
+		f.Inject(&dataplane.Packet{
+			Flow: dataplane.FlowKey{
+				SrcAddr: 1, DstAddr: dataplane.PrefixAddr(0),
+				SrcPort: uint16(i), Proto: 6,
+			},
+			Dst: 0,
+		}, origin)
+		select {
+		case <-f.Deliveries():
+			delivered++
+		case <-time.After(2 * time.Second):
+			b.Fatalf("delivery %d timed out", i)
+		}
+	}
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkWireMarshal measures the serialization hot path.
+func BenchmarkWireMarshal(b *testing.B) {
+	p := &dataplane.Packet{
+		Flow: dataplane.FlowKey{SrcAddr: 1, DstAddr: dataplane.PrefixAddr(3), DstPort: 80, Proto: 6},
+		Dst:  3, Tag: true, TTL: 64, Encap: true, OuterSrc: 1, OuterDst: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire := dataplane.MarshalPacket(p)
+		if _, err := dataplane.UnmarshalPacket(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package netd runs a dataplane.Network as a distributed system: every
+// router becomes a goroutine with its own UDP socket on the loopback
+// interface, packets travel between routers as real IPv4 datagrams
+// (dataplane.MarshalPacket), and the forwarding engine — tag-check,
+// IP-in-IP hand-off, FIB lookups — executes on the receive path of each
+// node.
+//
+// Together with core.Runtime (daemon goroutines updating FIBs) this is the
+// in-process analog of the paper's prototype: forwarding engine in the
+// kernel, MIFO daemon beside it, real packets in between (Section V).
+package netd
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataplane"
+)
+
+// Delivery is a packet that reached its destination AS.
+type Delivery struct {
+	// Packet is the delivered (decapsulated) packet.
+	Packet dataplane.Packet
+	// At is the router that delivered it.
+	At dataplane.RouterID
+}
+
+// Stats aggregates a node's counters.
+type Stats struct {
+	Received                             int64
+	Forwarded                            int64
+	Deflected                            int64
+	Delivered                            int64
+	DropNoRoute, DropValleyFree, DropTTL int64
+	ParseErrors                          int64
+}
+
+// node is one router's networked incarnation.
+type node struct {
+	router *dataplane.Router
+	conn   *net.UDPConn
+	// peerAddr[port] is the UDP address of the router on the other side.
+	peerAddr []*net.UDPAddr
+	// portBySender resolves an incoming datagram's source address to the
+	// local port it arrived on.
+	portBySender map[string]int
+	// txBytes counts bytes written per port, sampled by the link monitor.
+	txBytes []atomic.Int64
+
+	received, forwarded, deflected, delivered atomic.Int64
+	dropNoRoute, dropValleyFree, dropTTL      atomic.Int64
+	parseErrors                               atomic.Int64
+}
+
+// Fabric wires and runs all nodes of a network.
+type Fabric struct {
+	Net   *dataplane.Network
+	nodes []*node
+
+	deliveries chan Delivery
+	wg         sync.WaitGroup
+	started    bool
+	mu         sync.Mutex
+}
+
+// NewFabric binds one loopback UDP socket per router and cross-wires peer
+// addresses according to the network's ports. Call Start to begin serving.
+func NewFabric(n *dataplane.Network) (*Fabric, error) {
+	f := &Fabric{Net: n, deliveries: make(chan Delivery, 1024)}
+	f.nodes = make([]*node, len(n.Routers))
+	for i, r := range n.Routers {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			f.closeAll()
+			return nil, fmt.Errorf("netd: bind router %d: %w", i, err)
+		}
+		f.nodes[i] = &node{
+			router:       r,
+			conn:         conn,
+			peerAddr:     make([]*net.UDPAddr, len(r.Ports)),
+			portBySender: make(map[string]int, len(r.Ports)),
+			txBytes:      make([]atomic.Int64, len(r.Ports)),
+		}
+	}
+	// Second pass: every port learns its peer's socket address.
+	for i, nd := range f.nodes {
+		r := n.Routers[i]
+		for pi := range r.Ports {
+			port := &r.Ports[pi]
+			if port.Peer < 0 {
+				continue
+			}
+			peer := f.nodes[port.Peer].conn.LocalAddr().(*net.UDPAddr)
+			nd.peerAddr[pi] = peer
+			nd.portBySender[peer.String()] = pi
+		}
+	}
+	return f, nil
+}
+
+func (f *Fabric) closeAll() {
+	for _, nd := range f.nodes {
+		if nd != nil && nd.conn != nil {
+			nd.conn.Close()
+		}
+	}
+}
+
+// Start launches every node's receive loop.
+func (f *Fabric) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	f.started = true
+	for _, nd := range f.nodes {
+		f.wg.Add(1)
+		go f.serve(nd)
+	}
+}
+
+// Stop closes all sockets and waits for the receive loops to exit.
+func (f *Fabric) Stop() {
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return
+	}
+	f.started = false
+	f.mu.Unlock()
+	f.closeAll()
+	f.wg.Wait()
+}
+
+// Deliveries streams packets that reached their destination AS.
+func (f *Fabric) Deliveries() <-chan Delivery { return f.deliveries }
+
+// Inject originates a packet at a router's host port: the node processes
+// it exactly as the engine would process host traffic (in = -1).
+func (f *Fabric) Inject(p *dataplane.Packet, origin dataplane.RouterID) {
+	if p.TTL <= 0 {
+		p.TTL = dataplane.DefaultTTL
+	}
+	f.process(f.nodes[origin], p, -1)
+}
+
+// Addr returns the UDP address a router listens on (for external senders).
+func (f *Fabric) Addr(id dataplane.RouterID) *net.UDPAddr {
+	return f.nodes[id].conn.LocalAddr().(*net.UDPAddr)
+}
+
+// StatsOf returns a router's counters.
+func (f *Fabric) StatsOf(id dataplane.RouterID) Stats {
+	nd := f.nodes[id]
+	return Stats{
+		Received:       nd.received.Load(),
+		Forwarded:      nd.forwarded.Load(),
+		Deflected:      nd.deflected.Load(),
+		Delivered:      nd.delivered.Load(),
+		DropNoRoute:    nd.dropNoRoute.Load(),
+		DropValleyFree: nd.dropValleyFree.Load(),
+		DropTTL:        nd.dropTTL.Load(),
+		ParseErrors:    nd.parseErrors.Load(),
+	}
+}
+
+// TotalStats sums counters across all routers.
+func (f *Fabric) TotalStats() Stats {
+	var t Stats
+	for i := range f.nodes {
+		s := f.StatsOf(dataplane.RouterID(i))
+		t.Received += s.Received
+		t.Forwarded += s.Forwarded
+		t.Deflected += s.Deflected
+		t.Delivered += s.Delivered
+		t.DropNoRoute += s.DropNoRoute
+		t.DropValleyFree += s.DropValleyFree
+		t.DropTTL += s.DropTTL
+		t.ParseErrors += s.ParseErrors
+	}
+	return t
+}
+
+// serve is one node's receive loop.
+func (f *Fabric) serve(nd *node) {
+	defer f.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := nd.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed by Stop
+		}
+		nd.received.Add(1)
+		p, perr := dataplane.UnmarshalPacket(buf[:n])
+		if perr != nil {
+			nd.parseErrors.Add(1)
+			continue
+		}
+		in, known := nd.portBySender[from.String()]
+		if !known {
+			in = -1 // treat unknown senders as host traffic
+		}
+		f.process(nd, p, in)
+	}
+}
+
+// process runs the forwarding engine and acts on its verdict.
+func (f *Fabric) process(nd *node, p *dataplane.Packet, in int) {
+	if p.TTL <= 0 {
+		nd.dropTTL.Add(1)
+		return
+	}
+	p.TTL--
+	act := nd.router.Forward(p, in)
+	switch act.Verdict {
+	case dataplane.VerdictDeliver:
+		nd.delivered.Add(1)
+		select {
+		case f.deliveries <- Delivery{Packet: *p, At: nd.router.ID}:
+		default: // consumer not keeping up; stats still count it
+		}
+	case dataplane.VerdictDrop:
+		switch act.Reason {
+		case dataplane.DropValleyFree:
+			nd.dropValleyFree.Add(1)
+		case dataplane.DropTTL:
+			nd.dropTTL.Add(1)
+		default:
+			nd.dropNoRoute.Add(1)
+		}
+	case dataplane.VerdictForward:
+		addr := nd.peerAddr[act.Port]
+		if addr == nil {
+			nd.dropNoRoute.Add(1)
+			return
+		}
+		if act.Deflected {
+			nd.deflected.Add(1)
+		}
+		nd.forwarded.Add(1)
+		// Best-effort datagram send, like the real data plane.
+		wire := dataplane.MarshalPacket(p)
+		nd.txBytes[act.Port].Add(int64(len(wire)))
+		nd.conn.WriteToUDP(wire, addr)
+	}
+}
+
+// MonitorLoads starts the MIFO link monitor: every interval each node
+// samples its per-port transmit counters, smooths them with an EWMA meter
+// (core.Meter), and publishes the result as the port's utilization and
+// queue-ratio signal. From then on congestion detection — and therefore
+// deflection — is driven entirely by the traffic actually crossing the
+// sockets. The returned stop function halts the monitor.
+func (f *Fabric) MonitorLoads(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		meters := make([][]*core.Meter, len(f.nodes))
+		prev := make([][]int64, len(f.nodes))
+		for i, nd := range f.nodes {
+			meters[i] = make([]*core.Meter, len(nd.txBytes))
+			prev[i] = make([]int64, len(nd.txBytes))
+			for p := range meters[i] {
+				meters[i][p] = core.NewMeter(4 * interval.Seconds())
+			}
+		}
+		start := time.Now()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				now := time.Since(start).Seconds()
+				for i, nd := range f.nodes {
+					for p := range nd.txBytes {
+						cur := nd.txBytes[p].Load()
+						meters[i][p].Observe(float64(cur-prev[i][p])*8, now)
+						prev[i][p] = cur
+						rate := meters[i][p].Rate(now)
+						nd.router.SetUtilization(p, rate)
+						capacity := nd.router.Ports[p].CapacityBps
+						if capacity > 0 {
+							ratio := rate / capacity
+							if ratio > 1 {
+								ratio = 1
+							}
+							nd.router.SetQueueRatio(p, ratio)
+						}
+					}
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

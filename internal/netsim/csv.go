@@ -1,0 +1,49 @@
+package netsim
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes per-flow results for external analysis
+// (id,src,dst,arrival,finish,throughput_mbps,switches,used_alt,reroutes,
+// stalled_s,state).
+func (r *Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"id", "src", "dst", "arrival", "finish", "throughput_mbps",
+		"switches", "used_alt", "reroutes", "stalled_s", "state",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.Flows {
+		f := &r.Flows[i]
+		state := "done"
+		switch {
+		case f.Unroutable:
+			state = "unroutable"
+		case f.Stalled:
+			state = "stalled"
+		}
+		rec := []string{
+			strconv.Itoa(f.ID),
+			strconv.Itoa(f.Src),
+			strconv.Itoa(f.Dst),
+			strconv.FormatFloat(f.Arrival, 'g', -1, 64),
+			strconv.FormatFloat(f.Finish, 'g', -1, 64),
+			strconv.FormatFloat(f.ThroughputBps/1e6, 'f', 3, 64),
+			strconv.Itoa(f.Switches),
+			strconv.FormatBool(f.UsedAlt),
+			strconv.Itoa(f.Reroutes),
+			strconv.FormatFloat(f.StalledTime, 'f', 6, 64),
+			state,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/topo"
+)
+
+// LinkFailure describes one injected failure of an undirected inter-AS
+// link: both directions die at At and come back at RecoverAt (0 = never).
+type LinkFailure struct {
+	A, B      int
+	At        float64
+	RecoverAt float64
+}
+
+// handleFail kills both directions of the link and lets the policies react:
+// MIFO-capable ASes adjacent to the failure deflect affected flows on the
+// data plane immediately (a dead egress is the ultimate congestion signal);
+// everything else waits for control-plane reconvergence.
+func (s *Sim) handleFail(f LinkFailure) {
+	if !s.validLink(f) {
+		return
+	}
+	s.capac[s.linkID(f.A, f.B)] = 0
+	s.capac[s.linkID(f.B, f.A)] = 0
+	if s.failedRefs == nil {
+		s.failedRefs = make(map[topo.LinkRef]bool)
+	}
+	s.failedRefs[normRef(f.A, f.B)] = true
+	s.lastChangeAt = s.now
+	s.rebuildFailedGraph()
+
+	for _, fi := range s.active {
+		st := s.flows[fi]
+		if !s.crossesDead(st.links) {
+			continue
+		}
+		if s.cfg.Policy == PolicyMIFO {
+			// Fast data-plane failover: the dead hop reads as congested,
+			// so the standard deflection logic applies right now.
+			s.adaptFlow(st, s.tables[st.Dst])
+		}
+		if s.crossesDead(st.links) {
+			s.scheduleRepair(int(fi))
+		}
+	}
+	s.afterTopologyChange()
+}
+
+// handleRecover restores the link and schedules control-plane convergence
+// back to the original best paths.
+func (s *Sim) handleRecover(f LinkFailure) {
+	if !s.validLink(f) {
+		return
+	}
+	s.capac[s.linkID(f.A, f.B)] = s.cfg.LinkCapacityBps
+	s.capac[s.linkID(f.B, f.A)] = s.cfg.LinkCapacityBps
+	delete(s.failedRefs, normRef(f.A, f.B))
+	s.lastChangeAt = s.now
+	s.rebuildFailedGraph()
+
+	// Every flow's control-plane route converges back towards the original
+	// best path after the delay (the handler is a no-op for flows already
+	// there); MIFO's data-plane deviations (onAlt) are untouched.
+	for _, fi := range s.active {
+		if !s.flows[fi].onAlt {
+			s.scheduleRepair(int(fi))
+		}
+	}
+	s.afterTopologyChange()
+}
+
+// handleReconverge applies the repaired control-plane route to one flow.
+func (s *Sim) handleReconverge(fi int) {
+	st := s.flows[fi]
+	st.repairEvt = nil
+	if st.done || st.unroutable || st.onAlt {
+		return
+	}
+	table := s.repairedTable(st.Dst)
+	if table == nil || !table.Reachable(st.Src) {
+		// The destination is unreachable: the route is withdrawn and the
+		// flow stays black-holed until a later reconvergence (triggered
+		// by recovery) restores one.
+		if !st.withdrawn {
+			st.withdrawn = true
+			s.afterTopologyChange()
+		}
+		return
+	}
+	newPath := table.ASPath(st.Src)
+	if samePath(newPath, st.path) && !st.withdrawn {
+		return
+	}
+	st.withdrawn = false
+	s.setPath(st, newPath, st.rate)
+	st.reroutes++
+	// The repaired route is the flow's default until topology changes back.
+	st.defPath = newPath
+	s.afterTopologyChange()
+}
+
+// scheduleRepair arms (once) the control-plane reconvergence timer for a
+// flow. Convergence is network-wide: it completes ReconvergenceDelay after
+// the topology change, so a flow arriving into an already-converged
+// network is repaired immediately rather than waiting its own full delay.
+// MIFO ASes run the same BGP underneath, so the fallback applies to every
+// policy; MIFO's advantage is the instant data-plane reaction.
+func (s *Sim) scheduleRepair(fi int) {
+	st := s.flows[fi]
+	if st.repairEvt != nil && !st.repairEvt.Canceled() {
+		return
+	}
+	at := s.lastChangeAt + s.cfg.ReconvergenceDelay
+	if at < s.now {
+		at = s.now
+	}
+	st.repairEvt = s.queue.Push(at, evReconverge, int32(fi))
+}
+
+// repairedTable computes (and caches) the BGP table for dst on the current
+// failed topology.
+func (s *Sim) repairedTable(dst int) *bgp.Dest {
+	if s.failedGraph == nil {
+		return s.tables[dst]
+	}
+	if t, ok := s.repaired[dst]; ok {
+		return t
+	}
+	t := bgp.Compute(s.failedGraph, dst)
+	s.repaired[dst] = t
+	return t
+}
+
+func (s *Sim) rebuildFailedGraph() {
+	s.repaired = make(map[int]*bgp.Dest)
+	if len(s.failedRefs) == 0 {
+		s.failedGraph = nil
+		return
+	}
+	refs := make([]topo.LinkRef, 0, len(s.failedRefs))
+	for r := range s.failedRefs {
+		refs = append(refs, r)
+	}
+	g, err := topo.RemoveLinks(s.g, refs)
+	if err != nil {
+		// Removal cannot introduce cycles or duplicates; an error here
+		// means the base graph was invalid.
+		panic("netsim: rebuildFailedGraph: " + err.Error())
+	}
+	s.failedGraph = g
+}
+
+// crossesDead reports whether any link of the path has failed.
+func (s *Sim) crossesDead(links []int32) bool {
+	for _, l := range links {
+		if s.capac[l] <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// validLink reports whether the failure names an existing inter-AS link.
+func (s *Sim) validLink(f LinkFailure) bool {
+	n := s.g.N()
+	if f.A < 0 || f.A >= n || f.B < 0 || f.B >= n {
+		return false
+	}
+	return s.g.HasLink(f.A, f.B)
+}
+
+func normRef(a, b int) topo.LinkRef {
+	if a > b {
+		a, b = b, a
+	}
+	return topo.LinkRef{A: a, B: b}
+}
+
+func samePath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package netsim
+
+// recomputeRates assigns every active flow its max-min fair rate via
+// progressive filling: repeatedly find the most constrained link, freeze
+// its flows at the link's equal share, and subtract their demand from the
+// rest of the network.
+//
+// Scratch arrays are indexed by directed link id and reset lazily through
+// the touched list, so each recomputation costs O(active links × rounds +
+// flows × path length), independent of total topology size.
+func (s *Sim) recomputeRates() {
+	// Reset loads from the previous allocation.
+	for _, l := range s.touched {
+		s.load[l] = 0
+	}
+	s.touched = s.touched[:0]
+
+	if len(s.active) == 0 {
+		return
+	}
+
+	// Seed scratch state for links used by active flows. Withdrawn flows
+	// have no route and consume nothing.
+	unallocated := 0
+	for _, fi := range s.active {
+		st := s.flows[fi]
+		st.fixed = false
+		st.rate = 0
+		if st.withdrawn {
+			st.fixed = true
+			unallocated++
+			continue
+		}
+		for _, l := range st.links {
+			if s.count[l] == 0 {
+				s.residual[l] = s.capac[l]
+				s.flowsOn[l] = s.flowsOn[l][:0]
+				s.touched = append(s.touched, l)
+			}
+			s.count[l]++
+			s.flowsOn[l] = append(s.flowsOn[l], fi)
+		}
+	}
+
+	remaining := len(s.active) - unallocated
+	for remaining > 0 {
+		// Find the bottleneck: the unfrozen link with the smallest equal
+		// share.
+		best := int32(-1)
+		bestShare := 0.0
+		for _, l := range s.touched {
+			if s.count[l] == 0 {
+				continue
+			}
+			share := s.residual[l] / float64(s.count[l])
+			if best < 0 || share < bestShare {
+				best, bestShare = l, share
+			}
+		}
+		if best < 0 {
+			// No constrained links left (flows with zero-length paths do
+			// not exist, so this cannot happen; guard anyway).
+			break
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		// Freeze every unfixed flow crossing the bottleneck.
+		for _, fi := range s.flowsOn[best] {
+			st := s.flows[fi]
+			if st.fixed {
+				continue
+			}
+			st.fixed = true
+			st.rate = bestShare
+			remaining--
+			for _, l := range st.links {
+				s.residual[l] -= bestShare
+				s.count[l]--
+			}
+		}
+	}
+
+	// Publish loads.
+	for _, l := range s.touched {
+		s.load[l] = s.capac[l] - s.residual[l]
+		if s.load[l] < 0 {
+			s.load[l] = 0
+		}
+		s.count[l] = 0
+	}
+}

@@ -1,0 +1,512 @@
+// Package netsim is the flow-level network simulator used to reproduce the
+// paper's NS-3 evaluation (Section IV): flows arrive as a Poisson process,
+// links are 1 Gbps, bandwidth is shared max-min fairly, and the routing
+// policy is plain BGP, MIRO, or MIFO.
+//
+// It is a fluid discrete-event simulator: between events every active flow
+// transfers at its max-min fair rate; events are flow arrivals, flow
+// completions, and periodic control epochs at which MIFO border routers
+// re-evaluate deflections (and deflected flows fall back to a decongested
+// default path). The per-packet mechanics — tag-check, encapsulation — are
+// exercised separately in internal/dataplane; here their *decisions* are
+// modeled at flow granularity, which is what the paper's throughput,
+// offload, and stability figures measure.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/eventq"
+	"repro/internal/miro"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Policy selects the routing behavior.
+type Policy int8
+
+const (
+	// PolicyBGP uses single default paths (the baseline).
+	PolicyBGP Policy = iota
+	// PolicyMIRO negotiates control-plane alternatives at flow start.
+	PolicyMIRO
+	// PolicyMIFO deflects flows on the data plane at congested egresses.
+	PolicyMIFO
+)
+
+// String returns a short policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBGP:
+		return "BGP"
+	case PolicyMIRO:
+		return "MIRO"
+	case PolicyMIFO:
+		return "MIFO"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Quality selects how a MIFO border router ranks alternative paths
+// (Section III-C describes both mechanisms).
+type Quality int8
+
+const (
+	// QualityProbe estimates each alternative's end-to-end available
+	// bandwidth (the "selective probing" of Section II/III-C): the
+	// bottleneck spare capacity along the spliced path.
+	QualityProbe Quality = iota
+	// QualityLocalLink is the paper's greedy shortcut: rank only by the
+	// spare capacity of the directly connected inter-AS link. Cheaper and
+	// fully local, but blind to downstream congestion — kept as an
+	// ablation (see BenchmarkAblationQuality).
+	QualityLocalLink
+	// QualityFirst ignores measurements entirely and takes the best
+	// admissible RIB alternative by route preference — an ablation
+	// showing the value of load-aware selection.
+	QualityFirst
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Policy is the routing policy under test.
+	Policy Policy
+	// Quality is MIFO's alternative-ranking mechanism (default QualityProbe).
+	Quality Quality
+	// Capable marks MIFO/MIRO-capable ASes (nil = all capable).
+	Capable []bool
+	// LinkCapacityBps is the uniform inter-AS link capacity (default 1 Gbps).
+	LinkCapacityBps float64
+	// CongestionThreshold is the utilization at which an egress link counts
+	// as congested and deflects flows (default 0.95).
+	CongestionThreshold float64
+	// ReturnThreshold is the utilization below which a deflected flow's
+	// trigger link must fall before the flow returns to its default path
+	// (default 0.3). The hysteresis gap keeps path switching stable.
+	ReturnThreshold float64
+	// ControlInterval is the spacing of MIFO control epochs in seconds
+	// (default 0.005). MIFO reacts on the data plane — the tx queue is
+	// observed per packet — so the flow-level model must re-evaluate at a
+	// few-RTT granularity; coarser intervals under-sell the mechanism
+	// (see BenchmarkAblationControlInterval).
+	ControlInterval float64
+	// MaxSwitches stops adapting a flow after this many path switches
+	// (default 16); a safety valve, rarely reached thanks to hysteresis.
+	MaxSwitches int
+	// SwitchDamping multiplies the gain a further deflection must justify
+	// for every switch a flow has already made (default 1.6); it is what
+	// concentrates Fig. 9's switch distribution at one or two switches.
+	SwitchDamping float64
+	// MIRO configures the MIRO baseline.
+	MIRO miro.Config
+	// Workers bounds parallelism for route precomputation (0 = all CPUs).
+	Workers int
+
+	// Failures injects link failures (an extension experiment: MIFO's
+	// data-plane deflection reacts to a dead egress instantly, while BGP
+	// and MIRO traffic stalls until routes reconverge).
+	Failures []LinkFailure
+	// ReconvergenceDelay is how long the control plane takes to repair
+	// default routes after a failure or recovery (default 5 s).
+	ReconvergenceDelay float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkCapacityBps <= 0 {
+		c.LinkCapacityBps = 1e9
+	}
+	if c.CongestionThreshold <= 0 {
+		c.CongestionThreshold = 0.95
+	}
+	if c.ReturnThreshold <= 0 {
+		c.ReturnThreshold = 0.3
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 0.005
+	}
+	if c.MaxSwitches <= 0 {
+		c.MaxSwitches = 16
+	}
+	if c.SwitchDamping <= 0 {
+		c.SwitchDamping = 1.6
+	}
+	if c.ReconvergenceDelay <= 0 {
+		c.ReconvergenceDelay = 5
+	}
+	return c
+}
+
+// FlowResult records one flow's fate.
+type FlowResult struct {
+	traffic.Flow
+	// Finish is the completion time (seconds).
+	Finish float64
+	// ThroughputBps is SizeBits / (Finish - Arrival).
+	ThroughputBps float64
+	// Switches counts path switches (deflections plus returns), Fig. 9.
+	Switches int
+	// UsedAlt reports whether the flow ever traveled an alternative path
+	// (Fig. 8's offload metric).
+	UsedAlt bool
+	// Unroutable marks flows whose source had no BGP route to the
+	// destination; they carry zero throughput.
+	Unroutable bool
+
+	// StalledTime is the total time the flow spent at zero rate (e.g.
+	// black-holed behind a failed link awaiting reconvergence).
+	StalledTime float64
+	// Reroutes counts control-plane path repairs after failures
+	// (distinct from MIFO's data-plane Switches).
+	Reroutes int
+	// Stalled marks flows that never completed (dead path, no recovery).
+	Stalled bool
+}
+
+// flowState is the simulator's mutable view of one flow.
+type flowState struct {
+	traffic.Flow
+	path    []int   // current AS path
+	links   []int32 // directed link ids of path
+	defPath []int   // default (BGP) path
+	rate    float64
+	left    float64 // bits remaining
+	fixed   bool    // scratch for max-min computation
+
+	onAlt    bool
+	usedAlt  bool
+	switches int
+	trigLink int32 // link whose congestion pushed the flow off the default
+
+	stalledTime float64
+	reroutes    int
+	repairEvt   *eventq.Event // pending reconvergence for this flow
+	// withdrawn marks a flow whose route was withdrawn by the control
+	// plane (destination unreachable after a failure): it gets no
+	// bandwidth until a later reconvergence restores a route, even if the
+	// failed link itself comes back in the meantime.
+	withdrawn bool
+
+	done       bool
+	finish     float64
+	unroutable bool
+}
+
+// Sim holds one simulation run.
+type Sim struct {
+	g      *topo.Graph
+	cfg    Config
+	tables map[int]*bgp.Dest
+
+	// CSR directed-link indexing: link v->u has id linkOff[v] + index of u
+	// in g.Neighbors(v).
+	linkOff  []int32
+	numLinks int
+	capac    []float64 // per-link capacity; 0 while failed
+	load     []float64 // allocated bits/s per directed link
+	residual []float64 // scratch for max-min
+	count    []int32   // scratch for max-min
+	flowsOn  [][]int32 // scratch: active flow indices per link
+	touched  []int32   // links referenced by active flows
+
+	// Failure state.
+	failedGraph  *topo.Graph       // g minus failed links; nil when intact
+	repaired     map[int]*bgp.Dest // post-failure tables, keyed by dst
+	failedRefs   map[topo.LinkRef]bool
+	lastChangeAt float64 // time of the latest failure or recovery
+
+	flows   []*flowState
+	active  []int32 // indices of in-flight flows, insertion order
+	queue   eventq.Queue
+	now     float64
+	compEvt *eventq.Event
+	epochOn bool
+
+	miroAlts map[int64][]miro.Alternate // memoized per (src,dst)
+}
+
+const (
+	evArrival = iota
+	evCompletion
+	evEpoch
+	evFail
+	evRecover
+	evReconverge
+)
+
+// Run simulates the given flows over topology g and returns per-flow
+// results in flow order.
+func Run(g *topo.Graph, flows []traffic.Flow, cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+	if len(flows) == 0 {
+		return &Results{Capacity: cfg.LinkCapacityBps}, nil
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst || f.Src < 0 || f.Src >= g.N() || f.Dst < 0 || f.Dst >= g.N() {
+			return nil, fmt.Errorf("netsim: flow %d has bad endpoints (%d -> %d)", f.ID, f.Src, f.Dst)
+		}
+	}
+	s := &Sim{g: g, cfg: cfg, miroAlts: make(map[int64][]miro.Alternate)}
+	s.buildLinks()
+	if err := s.precomputeRoutes(flows); err != nil {
+		return nil, err
+	}
+
+	s.flows = make([]*flowState, len(flows))
+	for i, f := range flows {
+		st := &flowState{Flow: f, left: f.SizeBits, trigLink: -1}
+		s.flows[i] = st
+		s.queue.Push(f.Arrival, evArrival, int32(i))
+	}
+	for i := range cfg.Failures {
+		fl := cfg.Failures[i]
+		s.queue.Push(fl.At, evFail, i)
+		if fl.RecoverAt > fl.At {
+			s.queue.Push(fl.RecoverAt, evRecover, i)
+		}
+	}
+
+	for {
+		ev := s.queue.Pop()
+		if ev == nil {
+			break
+		}
+		s.advance(ev.Time)
+		switch ev.Kind {
+		case evArrival:
+			s.handleArrival(int(ev.Data.(int32)))
+		case evCompletion:
+			s.compEvt = nil
+			s.handleCompletions()
+		case evEpoch:
+			s.epochOn = false
+			s.handleEpoch()
+		case evFail:
+			s.handleFail(s.cfg.Failures[ev.Data.(int)])
+		case evRecover:
+			s.handleRecover(s.cfg.Failures[ev.Data.(int)])
+		case evReconverge:
+			s.handleReconverge(int(ev.Data.(int32)))
+		}
+	}
+
+	res := &Results{Capacity: cfg.LinkCapacityBps, Policy: cfg.Policy}
+	res.Flows = make([]FlowResult, len(flows))
+	for i, st := range s.flows {
+		fr := FlowResult{
+			Flow:        st.Flow,
+			Finish:      st.finish,
+			Switches:    st.switches,
+			UsedAlt:     st.usedAlt,
+			Unroutable:  st.unroutable,
+			StalledTime: st.stalledTime,
+			Reroutes:    st.reroutes,
+			Stalled:     !st.done && !st.unroutable,
+		}
+		if !st.unroutable && st.done && st.finish > st.Arrival {
+			fr.ThroughputBps = st.SizeBits / (st.finish - st.Arrival)
+		}
+		res.Flows[i] = fr
+	}
+	return res, nil
+}
+
+// buildLinks prepares the CSR directed-link index.
+func (s *Sim) buildLinks() {
+	n := s.g.N()
+	s.linkOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		s.linkOff[v+1] = s.linkOff[v] + int32(s.g.Degree(v))
+	}
+	s.numLinks = int(s.linkOff[n])
+	s.capac = make([]float64, s.numLinks)
+	for i := range s.capac {
+		s.capac[i] = s.cfg.LinkCapacityBps
+	}
+	s.load = make([]float64, s.numLinks)
+	s.residual = make([]float64, s.numLinks)
+	s.count = make([]int32, s.numLinks)
+	s.flowsOn = make([][]int32, s.numLinks)
+}
+
+// linkID returns the id of the directed link v -> u. u must be a neighbor.
+func (s *Sim) linkID(v, u int) int32 {
+	nbs := s.g.Neighbors(v)
+	i := sort.Search(len(nbs), func(i int) bool { return nbs[i].AS >= int32(u) })
+	return s.linkOff[v] + int32(i)
+}
+
+// precomputeRoutes computes a BGP table for every distinct destination.
+func (s *Sim) precomputeRoutes(flows []traffic.Flow) error {
+	seen := map[int]bool{}
+	var dsts []int
+	for _, f := range flows {
+		if !seen[f.Dst] {
+			seen[f.Dst] = true
+			dsts = append(dsts, f.Dst)
+		}
+	}
+	sort.Ints(dsts)
+	tables := bgp.ComputeAll(s.g, dsts, s.cfg.Workers)
+	s.tables = make(map[int]*bgp.Dest, len(dsts))
+	for i, dst := range dsts {
+		s.tables[dst] = tables[i]
+	}
+	return nil
+}
+
+// advance progresses all active flows to time t.
+func (s *Sim) advance(t float64) {
+	dt := t - s.now
+	if dt > 0 {
+		for _, fi := range s.active {
+			st := s.flows[fi]
+			if st.rate <= 0 {
+				st.stalledTime += dt
+				continue
+			}
+			st.left -= st.rate * dt
+			if st.left < 0 {
+				st.left = 0
+			}
+		}
+	}
+	s.now = t
+}
+
+func (s *Sim) capable(v int) bool {
+	return s.cfg.Capable == nil || s.cfg.Capable[v]
+}
+
+func (s *Sim) handleArrival(fi int) {
+	st := s.flows[fi]
+	table := s.tables[st.Dst]
+	if table == nil || !table.Reachable(st.Src) {
+		st.unroutable = true
+		st.done = true
+		st.finish = s.now
+		return
+	}
+	st.defPath = table.ASPath(st.Src)
+	st.path = st.defPath
+	st.links = s.pathLinks(st.path)
+
+	switch s.cfg.Policy {
+	case PolicyMIRO:
+		s.miroChoose(st, table)
+	case PolicyMIFO:
+		// A border router sees the congested egress the moment the first
+		// packets queue; model that as an immediate deflection check.
+		// Dead links read as fully congested, so this also covers fast
+		// failover at flow start.
+		s.adaptFlow(st, table)
+	}
+	// If the flow still lands on a failed link, it is black-holed until
+	// the control plane repairs the route.
+	if s.crossesDead(st.links) {
+		s.scheduleRepair(fi)
+	}
+
+	s.active = append(s.active, int32(fi))
+	s.afterTopologyChange()
+	if !s.epochOn && s.cfg.Policy == PolicyMIFO {
+		s.queue.Push(s.now+s.cfg.ControlInterval, evEpoch, nil)
+		s.epochOn = true
+	}
+}
+
+func (s *Sim) handleCompletions() {
+	const eps = 1e-3 // bits
+	changed := false
+	kept := s.active[:0]
+	for _, fi := range s.active {
+		st := s.flows[fi]
+		if st.left <= eps {
+			st.done = true
+			st.left = 0
+			st.finish = s.now
+			changed = true
+		} else {
+			kept = append(kept, fi)
+		}
+	}
+	s.active = kept
+	if changed {
+		s.afterTopologyChange()
+	}
+}
+
+func (s *Sim) handleEpoch() {
+	if s.cfg.Policy == PolicyMIFO {
+		changed := false
+		for _, fi := range s.active {
+			st := s.flows[fi]
+			if st.switches >= s.cfg.MaxSwitches {
+				continue
+			}
+			table := s.tables[st.Dst]
+			if s.adaptFlow(st, table) {
+				changed = true
+			}
+		}
+		if changed {
+			s.afterTopologyChange()
+		}
+	}
+	// Keep ticking while there is anything an epoch could still influence.
+	// If every active flow is permanently stalled and no other event is
+	// pending (no arrival, completion, failure or recovery), the epoch
+	// chain must end or the simulation would spin forever.
+	if len(s.active) > 0 && !s.queue.Empty() {
+		s.queue.Push(s.now+s.cfg.ControlInterval, evEpoch, nil)
+		s.epochOn = true
+	}
+}
+
+// afterTopologyChange recomputes fair rates and reschedules the next
+// completion event.
+func (s *Sim) afterTopologyChange() {
+	s.recomputeRates()
+	s.queue.Cancel(s.compEvt)
+	s.compEvt = nil
+	next := -1.0
+	for _, fi := range s.active {
+		st := s.flows[fi]
+		if st.rate <= 0 {
+			continue
+		}
+		t := s.now + st.left/st.rate
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	if next >= 0 {
+		s.compEvt = s.queue.Push(next, evCompletion, nil)
+	}
+}
+
+// pathLinks maps an AS path to directed link ids.
+func (s *Sim) pathLinks(path []int) []int32 {
+	links := make([]int32, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		links[i] = s.linkID(path[i], path[i+1])
+	}
+	return links
+}
+
+func (s *Sim) util(l int32) float64 {
+	if s.capac[l] <= 0 {
+		return 2 // a failed link is beyond congested
+	}
+	return s.load[l] / s.capac[l]
+}
+
+func (s *Sim) spare(l int32) float64 {
+	sp := s.capac[l] - s.load[l]
+	if sp < 0 {
+		return 0
+	}
+	return sp
+}

@@ -1,0 +1,40 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the topology in Graphviz DOT format: provider->customer
+// links as directed edges, peering as undirected (dir=none, dashed).
+// Intended for small graphs and excerpts; `dot -Tsvg` makes the hierarchy
+// visible at a glance.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	if name == "" {
+		name = "topology"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", name)
+	fmt.Fprintln(bw, "  rankdir=TB;")
+	fmt.Fprintln(bw, "  node [shape=circle, fontsize=10];")
+	for v := 0; v < g.N(); v++ {
+		attrs := ""
+		if g.IsStub(v) {
+			attrs = " [style=filled, fillcolor=lightgray]"
+		}
+		fmt.Fprintf(bw, "  %d%s;\n", v, attrs)
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, nb := range g.Neighbors(v) {
+			switch {
+			case nb.Rel == Customer:
+				fmt.Fprintf(bw, "  %d -> %d;\n", v, nb.AS)
+			case nb.Rel == Peer && int32(v) < nb.AS:
+				fmt.Fprintf(bw, "  %d -> %d [dir=none, style=dashed];\n", v, nb.AS)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,41 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, err := NewBuilder(3).AddPC(0, 1).AddPeer(1, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "test" {`,
+		"0 -> 1;",
+		"1 -> 2 [dir=none, style=dashed];",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Each link rendered exactly once: 0->1 and 1->2.
+	if got := strings.Count(out, "->"); got != 2 {
+		t.Errorf("edge lines = %d, want 2 in:\n%s", got, out)
+	}
+	// Default name.
+	buf.Reset()
+	if err := WriteDOT(&buf, g, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `digraph "topology"`) {
+		t.Error("default graph name not applied")
+	}
+}

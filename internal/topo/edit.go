@@ -1,0 +1,39 @@
+package topo
+
+// LinkRef names an undirected inter-AS link by its endpoints.
+type LinkRef struct {
+	A, B int
+}
+
+// RemoveLinks returns a copy of g without the given links. Links that do
+// not exist are ignored. The result shares no state with g.
+func RemoveLinks(g *Graph, remove []LinkRef) (*Graph, error) {
+	gone := make(map[[2]int32]bool, len(remove))
+	for _, l := range remove {
+		a, b := int32(l.A), int32(l.B)
+		if a > b {
+			a, b = b, a
+		}
+		gone[[2]int32{a, b}] = true
+	}
+	b := NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, nb := range g.Neighbors(v) {
+			if int32(v) > nb.AS {
+				continue // wire each link once
+			}
+			if gone[[2]int32{int32(v), nb.AS}] {
+				continue
+			}
+			switch nb.Rel {
+			case Customer:
+				b.AddPC(v, int(nb.AS))
+			case Provider:
+				b.AddPC(int(nb.AS), v)
+			case Peer:
+				b.AddPeer(v, int(nb.AS))
+			}
+		}
+	}
+	return b.Build()
+}

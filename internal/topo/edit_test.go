@@ -1,0 +1,57 @@
+package topo
+
+import "testing"
+
+func TestRemoveLinks(t *testing.T) {
+	g, err := NewBuilder(4).
+		AddPC(1, 0).AddPC(2, 0).AddPC(3, 0).
+		AddPeer(1, 2).AddPeer(2, 3).AddPeer(1, 3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RemoveLinks(g, []LinkRef{{A: 1, B: 0}, {A: 2, B: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Links() != g.Links()-2 {
+		t.Fatalf("links = %d, want %d", g2.Links(), g.Links()-2)
+	}
+	if g2.HasLink(1, 0) || g2.HasLink(2, 3) {
+		t.Error("removed links still present")
+	}
+	if !g2.HasLink(2, 0) || !g2.HasLink(1, 3) {
+		t.Error("surviving links lost")
+	}
+	// Endpoint order must not matter, and missing links are ignored.
+	g3, err := RemoveLinks(g, []LinkRef{{A: 0, B: 2}, {A: 9, B: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.HasLink(2, 0) || g3.Links() != g.Links()-1 {
+		t.Errorf("reverse-order removal failed: %d links", g3.Links())
+	}
+	// Original untouched.
+	if !g.HasLink(1, 0) {
+		t.Error("RemoveLinks mutated the source graph")
+	}
+}
+
+func TestRemoveLinksPreservesRelationships(t *testing.T) {
+	g, err := Generate(GenConfig{N: 200, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RemoveLinks(g, []LinkRef{{A: 0, B: int(g.Neighbors(0)[0].AS)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, nb := range g2.Neighbors(v) {
+			orig, ok := g.Rel(v, int(nb.AS))
+			if !ok || orig != nb.Rel {
+				t.Fatalf("relationship of %d-%d changed: %v -> %v", v, nb.AS, orig, nb.Rel)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	g, err := Generate(GenConfig{N: 2000, Seed: 42})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("N = %d, want 2000", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("generated topology must be connected")
+	}
+	s := g.Stats()
+	if s.AvgDegree < 2 || s.AvgDegree > 12 {
+		t.Errorf("avg degree = %v, outside sane Internet-like band", s.AvgDegree)
+	}
+	// Table I reports 31% peering links; accept a generous band.
+	if s.PeerFraction < 0.15 || s.PeerFraction > 0.50 {
+		t.Errorf("peer fraction = %v, want roughly 0.31", s.PeerFraction)
+	}
+	// Tier-1 ASes must have no providers.
+	for v := 0; v < 12; v++ {
+		for _, nb := range g.Neighbors(v) {
+			if nb.Rel == Provider {
+				t.Fatalf("tier-1 AS %d has a provider %d", v, nb.AS)
+			}
+		}
+	}
+	// Every non-tier-1 AS must have at least one provider (reachability).
+	for v := 12; v < g.N(); v++ {
+		has := false
+		for _, nb := range g.Neighbors(v) {
+			if nb.Rel == Provider {
+				has = true
+				break
+			}
+		}
+		if !has {
+			t.Fatalf("AS %d has no provider", v)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{N: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{N: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Links() != b.Links() || a.PCLinks() != b.PCLinks() {
+		t.Fatalf("same seed gave different topologies: %d/%d vs %d/%d links",
+			a.Links(), a.PCLinks(), b.Links(), b.PCLinks())
+	}
+	for v := 0; v < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("AS %d degree differs: %d vs %d", v, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("AS %d neighbor %d differs: %+v vs %+v", v, i, na[i], nb[i])
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Generate(GenConfig{N: 500, Seed: 1})
+	b, _ := Generate(GenConfig{N: 500, Seed: 2})
+	if a.Links() == b.Links() && a.PeerLinks() == b.PeerLinks() && a.PCLinks() == b.PCLinks() {
+		// Counts could coincide; compare adjacency of a few nodes.
+		same := true
+		for v := 0; v < 50 && same; v++ {
+			na, nb := a.Neighbors(v), b.Neighbors(v)
+			if len(na) != len(nb) {
+				same = false
+				break
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical topologies")
+		}
+	}
+}
+
+func TestGenerateTinyAndEdgeCases(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 12, 13, 50} {
+		g, err := Generate(GenConfig{N: n, Seed: 3})
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if g.N() != n {
+			t.Fatalf("N=%d: got %d nodes", n, g.N())
+		}
+		if n > 1 && !g.Connected() {
+			t.Fatalf("N=%d: disconnected", n)
+		}
+	}
+	if _, err := Generate(GenConfig{N: 0}); err == nil {
+		t.Error("N=0 must error")
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	g, err := Generate(GenConfig{N: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	// Preferential attachment should produce hubs far above the average.
+	if float64(s.MaxDegree) < 8*s.AvgDegree {
+		t.Errorf("max degree %d vs avg %.1f: degree distribution not heavy-tailed",
+			s.MaxDegree, s.AvgDegree)
+	}
+	// Most ASes are stubs, as in the real Internet (~85%).
+	if frac := float64(s.Stubs) / float64(s.Nodes); frac < 0.6 {
+		t.Errorf("stub fraction = %v, want majority stubs", frac)
+	}
+}
+
+// Property: generation never produces a P/C cycle or duplicate link for any
+// (small) size and seed — Build would reject both.
+func TestQuickGenerateAlwaysValid(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		g, err := Generate(GenConfig{N: int(n%200) + 1, Seed: seed})
+		return err == nil && g != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperScaleConfig(t *testing.T) {
+	cfg := PaperScaleConfig(1)
+	if cfg.N != 44340 {
+		t.Errorf("paper-scale N = %d, want 44340", cfg.N)
+	}
+}
+
+func BenchmarkGenerate2k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(GenConfig{N: 2000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package topo models the AS-level Internet topology MIFO operates on:
+// ASes connected by inter-AS links annotated with business relationships
+// (customer/provider or mutual peering), per Gao–Rexford.
+//
+// The package provides an immutable Graph built through a Builder, a
+// synthetic Internet-like topology generator calibrated against the paper's
+// Table I dataset (UCLA IRL, Nov 2014), and a CAIDA-style text format so
+// real relationship inferences can be substituted for the generator.
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rel is the business relationship of a neighbor as seen from the AS that
+// holds the adjacency entry.
+type Rel int8
+
+const (
+	// Customer means the neighbor is my customer (I am its provider).
+	Customer Rel = iota
+	// Peer means the neighbor and I are settlement-free peers.
+	Peer
+	// Provider means the neighbor is my provider (I am its customer).
+	Provider
+)
+
+// Invert returns the relationship from the neighbor's point of view.
+func (r Rel) Invert() Rel {
+	switch r {
+	case Customer:
+		return Provider
+	case Provider:
+		return Customer
+	default:
+		return Peer
+	}
+}
+
+// String returns a short human-readable name.
+func (r Rel) String() string {
+	switch r {
+	case Customer:
+		return "customer"
+	case Peer:
+		return "peer"
+	case Provider:
+		return "provider"
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Neighbor is one adjacency entry: the neighbor's AS index and its
+// relationship relative to the owning AS.
+type Neighbor struct {
+	AS  int32
+	Rel Rel
+}
+
+// Graph is an immutable AS-level topology. ASes are dense indices [0, N).
+// Adjacency lists are sorted by neighbor index, enabling binary-search
+// relationship lookups.
+type Graph struct {
+	adj       [][]Neighbor
+	pcLinks   int
+	peerLinks int
+}
+
+// N returns the number of ASes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Links returns the total number of undirected inter-AS links.
+func (g *Graph) Links() int { return g.pcLinks + g.peerLinks }
+
+// PCLinks returns the number of provider–customer links.
+func (g *Graph) PCLinks() int { return g.pcLinks }
+
+// PeerLinks returns the number of mutual peering links.
+func (g *Graph) PeerLinks() int { return g.peerLinks }
+
+// Degree returns the number of neighbors of AS v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of AS v, sorted by neighbor index.
+// The returned slice is shared; callers must not modify it.
+func (g *Graph) Neighbors(v int) []Neighbor { return g.adj[v] }
+
+// Rel returns the relationship of neighbor u as seen from v, and whether a
+// link (v, u) exists.
+func (g *Graph) Rel(v, u int) (Rel, bool) {
+	list := g.adj[v]
+	i := sort.Search(len(list), func(i int) bool { return list[i].AS >= int32(u) })
+	if i < len(list) && list[i].AS == int32(u) {
+		return list[i].Rel, true
+	}
+	return 0, false
+}
+
+// HasLink reports whether an inter-AS link between v and u exists.
+func (g *Graph) HasLink(v, u int) bool {
+	_, ok := g.Rel(v, u)
+	return ok
+}
+
+// IsCustomer reports whether u is a customer of v.
+func (g *Graph) IsCustomer(v, u int) bool {
+	r, ok := g.Rel(v, u)
+	return ok && r == Customer
+}
+
+// CustomerCount returns the number of customers of v.
+func (g *Graph) CustomerCount(v int) int {
+	n := 0
+	for _, nb := range g.adj[v] {
+		if nb.Rel == Customer {
+			n++
+		}
+	}
+	return n
+}
+
+// TransitNeighborCount returns the number of providers plus peers of v —
+// the ranking metric the paper uses for content providers ("by the number
+// of providers and peers").
+func (g *Graph) TransitNeighborCount(v int) int {
+	n := 0
+	for _, nb := range g.adj[v] {
+		if nb.Rel != Customer {
+			n++
+		}
+	}
+	return n
+}
+
+// IsStub reports whether v has no customers.
+func (g *Graph) IsStub(v int) bool { return g.CustomerCount(v) == 0 }
+
+// Stats summarizes the topology in Table I's terms.
+type Stats struct {
+	Nodes     int
+	Links     int
+	PCLinks   int
+	PeerLinks int
+
+	AvgDegree    float64
+	MaxDegree    int
+	Stubs        int // ASes with no customers
+	MultiHomed   int // ASes with >= 2 neighbors
+	PeerFraction float64
+}
+
+// Stats computes summary statistics for the graph.
+func (g *Graph) Stats() Stats {
+	s := Stats{
+		Nodes:     g.N(),
+		Links:     g.Links(),
+		PCLinks:   g.pcLinks,
+		PeerLinks: g.peerLinks,
+	}
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d >= 2 {
+			s.MultiHomed++
+		}
+		if g.IsStub(v) {
+			s.Stubs++
+		}
+	}
+	if s.Nodes > 0 {
+		s.AvgDegree = 2 * float64(s.Links) / float64(s.Nodes)
+	}
+	if s.Links > 0 {
+		s.PeerFraction = float64(s.PeerLinks) / float64(s.Links)
+	}
+	return s
+}
+
+// Builder accumulates links and produces an immutable Graph.
+type Builder struct {
+	n   int
+	adj [][]Neighbor
+	err error
+}
+
+// NewBuilder returns a Builder for a topology with n ASes and no links.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, adj: make([][]Neighbor, n)}
+}
+
+func (b *Builder) check(v, u int) bool {
+	if b.err != nil {
+		return false
+	}
+	if v < 0 || v >= b.n || u < 0 || u >= b.n {
+		b.err = fmt.Errorf("topo: AS index out of range: (%d, %d) with n=%d", v, u, b.n)
+		return false
+	}
+	if v == u {
+		b.err = fmt.Errorf("topo: self-link at AS %d", v)
+		return false
+	}
+	for _, nb := range b.adj[v] {
+		if nb.AS == int32(u) {
+			b.err = fmt.Errorf("topo: duplicate link between AS %d and AS %d", v, u)
+			return false
+		}
+	}
+	return true
+}
+
+// AddPC records a provider–customer link: provider serves customer.
+func (b *Builder) AddPC(provider, customer int) *Builder {
+	if b.check(provider, customer) {
+		b.adj[provider] = append(b.adj[provider], Neighbor{AS: int32(customer), Rel: Customer})
+		b.adj[customer] = append(b.adj[customer], Neighbor{AS: int32(provider), Rel: Provider})
+	}
+	return b
+}
+
+// AddPeer records a settlement-free peering link between a and b.
+func (b *Builder) AddPeer(x, y int) *Builder {
+	if b.check(x, y) {
+		b.adj[x] = append(b.adj[x], Neighbor{AS: int32(y), Rel: Peer})
+		b.adj[y] = append(b.adj[y], Neighbor{AS: int32(x), Rel: Peer})
+	}
+	return b
+}
+
+// HasLink reports whether a link between v and u has been added so far.
+func (b *Builder) HasLink(v, u int) bool {
+	if v < 0 || v >= b.n || u < 0 || u >= b.n {
+		return false
+	}
+	for _, nb := range b.adj[v] {
+		if nb.AS == int32(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the current number of neighbors of v.
+func (b *Builder) Degree(v int) int { return len(b.adj[v]) }
+
+// Build validates the accumulated links and returns the Graph. The
+// provider–customer digraph must be acyclic (a Gao–Rexford assumption the
+// paper's loop-freedom proof relies on).
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{adj: b.adj}
+	for v := range g.adj {
+		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i].AS < g.adj[v][j].AS })
+		for _, nb := range g.adj[v] {
+			switch nb.Rel {
+			case Customer:
+				g.pcLinks++ // counted once, from the provider side
+			case Peer:
+				if int32(v) < nb.AS {
+					g.peerLinks++
+				}
+			}
+		}
+	}
+	if cycle := g.findPCCycle(); cycle {
+		return nil, fmt.Errorf("topo: provider-customer relationship digraph contains a cycle")
+	}
+	return g, nil
+}
+
+// findPCCycle runs Kahn's algorithm over provider->customer edges.
+func (g *Graph) findPCCycle() bool {
+	n := g.N()
+	indeg := make([]int, n) // number of providers
+	for v := 0; v < n; v++ {
+		for _, nb := range g.adj[v] {
+			if nb.Rel == Provider {
+				indeg[v]++
+			}
+		}
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, nb := range g.adj[v] {
+			if nb.Rel == Customer {
+				indeg[nb.AS]--
+				if indeg[nb.AS] == 0 {
+					queue = append(queue, int(nb.AS))
+				}
+			}
+		}
+	}
+	return seen != n
+}
+
+// Connected reports whether the underlying undirected graph is connected
+// (ignoring relationship direction). An empty graph is connected.
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	visited := make([]bool, n)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.adj[v] {
+			if !visited[nb.AS] {
+				visited[nb.AS] = true
+				count++
+				stack = append(stack, int(nb.AS))
+			}
+		}
+	}
+	return count == n
+}

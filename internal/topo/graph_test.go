@@ -1,0 +1,163 @@
+package topo
+
+import (
+	"testing"
+)
+
+// triangle builds the Fig. 2(a) topology: ASes 1, 2, 3 peer with each other,
+// AS 0 is a customer of all three. Indices: 0=customer, 1..3 peers.
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder(4).
+		AddPC(1, 0).AddPC(2, 0).AddPC(3, 0).
+		AddPeer(1, 2).AddPeer(2, 3).AddPeer(1, 3).
+		Build()
+	if err != nil {
+		t.Fatalf("triangle build: %v", err)
+	}
+	return g
+}
+
+func TestRelInvert(t *testing.T) {
+	if Customer.Invert() != Provider || Provider.Invert() != Customer || Peer.Invert() != Peer {
+		t.Fatal("Invert is not an involution on {Customer, Peer, Provider}")
+	}
+}
+
+func TestRelString(t *testing.T) {
+	for r, want := range map[Rel]string{Customer: "customer", Peer: "peer", Provider: "provider"} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if Rel(9).String() != "Rel(9)" {
+		t.Errorf("unknown rel String() = %q", Rel(9).String())
+	}
+}
+
+func TestTriangleRelationships(t *testing.T) {
+	g := triangle(t)
+	if g.N() != 4 || g.Links() != 6 || g.PCLinks() != 3 || g.PeerLinks() != 3 {
+		t.Fatalf("counts = n=%d links=%d pc=%d peer=%d", g.N(), g.Links(), g.PCLinks(), g.PeerLinks())
+	}
+	if r, ok := g.Rel(1, 0); !ok || r != Customer {
+		t.Errorf("Rel(1,0) = %v,%v, want customer", r, ok)
+	}
+	if r, ok := g.Rel(0, 1); !ok || r != Provider {
+		t.Errorf("Rel(0,1) = %v,%v, want provider", r, ok)
+	}
+	if r, ok := g.Rel(2, 3); !ok || r != Peer {
+		t.Errorf("Rel(2,3) = %v,%v, want peer", r, ok)
+	}
+	if _, ok := g.Rel(0, 0); ok {
+		t.Error("self relationship should not exist")
+	}
+	if !g.IsCustomer(1, 0) || g.IsCustomer(0, 1) {
+		t.Error("IsCustomer direction wrong")
+	}
+	if !g.IsStub(0) || g.IsStub(1) {
+		t.Error("stub classification wrong")
+	}
+	if g.CustomerCount(1) != 1 || g.CustomerCount(0) != 0 {
+		t.Error("CustomerCount wrong")
+	}
+	if g.TransitNeighborCount(0) != 3 {
+		t.Errorf("TransitNeighborCount(0) = %d, want 3", g.TransitNeighborCount(0))
+	}
+	if g.TransitNeighborCount(1) != 2 {
+		t.Errorf("TransitNeighborCount(1) = %d, want 2 (two peers)", g.TransitNeighborCount(1))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder(2).AddPC(0, 0).Build(); err == nil {
+		t.Error("self link must fail")
+	}
+	if _, err := NewBuilder(2).AddPC(0, 1).AddPeer(0, 1).Build(); err == nil {
+		t.Error("duplicate link must fail")
+	}
+	if _, err := NewBuilder(2).AddPC(0, 5).Build(); err == nil {
+		t.Error("out-of-range AS must fail")
+	}
+	if _, err := NewBuilder(3).AddPC(0, 1).AddPC(1, 2).AddPC(2, 0).Build(); err == nil {
+		t.Error("provider-customer cycle must fail")
+	}
+	// Errors are sticky: later valid calls don't clear them.
+	b := NewBuilder(3).AddPC(0, 0)
+	b.AddPC(0, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("sticky error lost")
+	}
+}
+
+func TestPCDiamondIsAcyclic(t *testing.T) {
+	// 0 provides 1 and 2; both provide 3. A DAG, must build fine.
+	g, err := NewBuilder(4).AddPC(0, 1).AddPC(0, 2).AddPC(1, 3).AddPC(2, 3).Build()
+	if err != nil {
+		t.Fatalf("diamond build: %v", err)
+	}
+	if g.PCLinks() != 4 {
+		t.Errorf("PCLinks = %d, want 4", g.PCLinks())
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := triangle(t)
+	if !g.Connected() {
+		t.Error("triangle should be connected")
+	}
+	g2, err := NewBuilder(4).AddPC(0, 1).AddPC(2, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Connected() {
+		t.Error("two components should not be connected")
+	}
+	empty, err := NewBuilder(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Connected() {
+		t.Error("empty graph is trivially connected")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := triangle(t)
+	s := g.Stats()
+	if s.Nodes != 4 || s.Links != 6 || s.PCLinks != 3 || s.PeerLinks != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.AvgDegree != 3.0 {
+		t.Errorf("avg degree = %v, want 3", s.AvgDegree)
+	}
+	if s.MaxDegree != 3 {
+		t.Errorf("max degree = %v, want 3", s.MaxDegree)
+	}
+	if s.Stubs != 1 {
+		t.Errorf("stubs = %d, want 1", s.Stubs)
+	}
+	if s.MultiHomed != 4 {
+		t.Errorf("multi-homed = %d, want 4", s.MultiHomed)
+	}
+	if s.PeerFraction != 0.5 {
+		t.Errorf("peer fraction = %v, want 0.5", s.PeerFraction)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g, err := NewBuilder(5).AddPC(4, 0).AddPC(2, 0).AddPC(1, 0).AddPeer(0, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int32(-1)
+	for _, nb := range g.Neighbors(0) {
+		if nb.AS <= prev {
+			t.Fatalf("neighbors not sorted: %v", g.Neighbors(0))
+		}
+		prev = nb.AS
+	}
+	if g.Degree(0) != 4 {
+		t.Errorf("degree = %d, want 4", g.Degree(0))
+	}
+}

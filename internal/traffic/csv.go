@@ -1,0 +1,65 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes flows as CSV (id,src,dst,size_bits,arrival) so a
+// workload can be archived and replayed across runs and tools.
+func WriteCSV(w io.Writer, flows []Flow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "src", "dst", "size_bits", "arrival"}); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		rec := []string{
+			strconv.Itoa(f.ID),
+			strconv.Itoa(f.Src),
+			strconv.Itoa(f.Dst),
+			strconv.FormatFloat(f.SizeBits, 'g', -1, 64),
+			strconv.FormatFloat(f.Arrival, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a workload written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Flow, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	start := 0
+	if records[0][0] == "id" {
+		start = 1 // skip header
+	}
+	flows := make([]Flow, 0, len(records)-start)
+	for i, rec := range records[start:] {
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("traffic: row %d: want 5 fields, got %d", i+start+1, len(rec))
+		}
+		id, err1 := strconv.Atoi(rec[0])
+		src, err2 := strconv.Atoi(rec[1])
+		dst, err3 := strconv.Atoi(rec[2])
+		size, err4 := strconv.ParseFloat(rec[3], 64)
+		arr, err5 := strconv.ParseFloat(rec[4], 64)
+		for _, err := range []error{err1, err2, err3, err4, err5} {
+			if err != nil {
+				return nil, fmt.Errorf("traffic: row %d: %w", i+start+1, err)
+			}
+		}
+		flows = append(flows, Flow{ID: id, Src: src, Dst: dst, SizeBits: size, Arrival: arr})
+	}
+	return flows, nil
+}

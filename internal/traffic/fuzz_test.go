@@ -1,0 +1,33 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the workload parser.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,src,dst,size_bits,arrival\n0,1,2,8e+07,0.5\n")
+	f.Add("0,1,2,8e+07,0.5\n")
+	f.Add("not,a,workload\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		flows, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, flows); err != nil {
+			t.Fatalf("write after read: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("reread: %v", err)
+		}
+		if len(again) != len(flows) {
+			t.Fatalf("round trip changed flow count: %d vs %d", len(flows), len(again))
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package traffic generates the synthetic traffic matrices of Section IV:
+// uniformly random AS pairs, and a power-law (Zipf) matrix where popular
+// content providers source most of the traffic and stub ASes consume it.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// Flow is one transfer request.
+type Flow struct {
+	// ID is a dense index, also used as the flow's hash salt.
+	ID int
+	// Src and Dst are AS indices.
+	Src, Dst int
+	// SizeBits is the transfer size in bits.
+	SizeBits float64
+	// Arrival is the start time in seconds.
+	Arrival float64
+}
+
+// Defaults from the paper's simulation setup.
+const (
+	// DefaultArrivalRate is the average number of flows initiated per
+	// second (Poisson process).
+	DefaultArrivalRate = 100.0
+	// DefaultFlowSizeBits is 10 MB per flow.
+	DefaultFlowSizeBits = 10 * 8e6
+)
+
+// UniformConfig parameterizes Uniform.
+type UniformConfig struct {
+	// N is the number of ASes to draw pairs from.
+	N int
+	// Flows is the number of flows to generate.
+	Flows int
+	// ArrivalRate is the Poisson arrival rate (flows per second).
+	ArrivalRate float64
+	// SizeBits is the per-flow size.
+	SizeBits float64
+	// Seed seeds the PRNG.
+	Seed int64
+}
+
+// Uniform generates flows between uniformly random distinct AS pairs with
+// Poisson arrivals — the paper's "generic" traffic matrix.
+func Uniform(cfg UniformConfig) ([]Flow, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 ASes, got %d", cfg.N)
+	}
+	rate, size := cfg.ArrivalRate, cfg.SizeBits
+	if rate <= 0 {
+		rate = DefaultArrivalRate
+	}
+	if size <= 0 {
+		size = DefaultFlowSizeBits
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flows := make([]Flow, cfg.Flows)
+	now := 0.0
+	for i := range flows {
+		now += rng.ExpFloat64() / rate
+		src := rng.Intn(cfg.N)
+		dst := rng.Intn(cfg.N - 1)
+		if dst >= src {
+			dst++
+		}
+		flows[i] = Flow{ID: i, Src: src, Dst: dst, SizeBits: size, Arrival: now}
+	}
+	return flows, nil
+}
+
+// PowerLawConfig parameterizes PowerLaw.
+type PowerLawConfig struct {
+	// Providers are candidate content-provider ASes, ranked most popular
+	// first (see RankContentProviders).
+	Providers []int
+	// Consumers are the traffic sinks (typically stub ASes).
+	Consumers []int
+	// Alpha is the Zipf skew: P(rank i) ∝ i^-Alpha. The paper evaluates
+	// 0.8, 1.0 and 1.2.
+	Alpha float64
+	// Flows, ArrivalRate, SizeBits, Seed as in UniformConfig.
+	Flows       int
+	ArrivalRate float64
+	SizeBits    float64
+	Seed        int64
+}
+
+// PowerLaw generates flows whose sources follow a Zipf distribution over
+// the ranked content providers and whose destinations are uniform over the
+// consumers — the paper's "realistic" matrix where the higher a content
+// provider ranks, the more of its traffic is consumed.
+func PowerLaw(cfg PowerLawConfig) ([]Flow, error) {
+	if len(cfg.Providers) == 0 || len(cfg.Consumers) == 0 {
+		return nil, fmt.Errorf("traffic: need providers and consumers, got %d/%d",
+			len(cfg.Providers), len(cfg.Consumers))
+	}
+	if cfg.Alpha <= 0 {
+		return nil, fmt.Errorf("traffic: alpha must be positive, got %v", cfg.Alpha)
+	}
+	rate, size := cfg.ArrivalRate, cfg.SizeBits
+	if rate <= 0 {
+		rate = DefaultArrivalRate
+	}
+	if size <= 0 {
+		size = DefaultFlowSizeBits
+	}
+	// Cumulative Zipf weights over provider ranks (1-indexed).
+	cum := make([]float64, len(cfg.Providers))
+	total := 0.0
+	for i := range cfg.Providers {
+		total += math.Pow(float64(i+1), -cfg.Alpha)
+		cum[i] = total
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flows := make([]Flow, cfg.Flows)
+	now := 0.0
+	for i := range flows {
+		now += rng.ExpFloat64() / rate
+		u := rng.Float64() * total
+		rank := sort.SearchFloat64s(cum, u)
+		if rank >= len(cfg.Providers) {
+			rank = len(cfg.Providers) - 1
+		}
+		src := cfg.Providers[rank]
+		dst := cfg.Consumers[rng.Intn(len(cfg.Consumers))]
+		for dst == src {
+			dst = cfg.Consumers[rng.Intn(len(cfg.Consumers))]
+		}
+		flows[i] = Flow{ID: i, Src: src, Dst: dst, SizeBits: size, Arrival: now}
+	}
+	return flows, nil
+}
+
+// RankContentProviders returns up to count ASes ranked by the number of
+// providers and peers they have (descending) — the paper's popularity
+// metric for content providers. Ties break towards the lower AS index.
+func RankContentProviders(g *topo.Graph, count int) []int {
+	type ranked struct {
+		as     int
+		degree int
+	}
+	all := make([]ranked, g.N())
+	for v := 0; v < g.N(); v++ {
+		all[v] = ranked{as: v, degree: g.TransitNeighborCount(v)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].degree != all[j].degree {
+			return all[i].degree > all[j].degree
+		}
+		return all[i].as < all[j].as
+	})
+	if count > len(all) {
+		count = len(all)
+	}
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = all[i].as
+	}
+	return out
+}
+
+// StubASes returns every AS with no customers — the consumers of the
+// power-law matrix.
+func StubASes(g *topo.Graph) []int {
+	var out []int
+	for v := 0; v < g.N(); v++ {
+		if g.IsStub(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestUniformBasic(t *testing.T) {
+	flows, err := Uniform(UniformConfig{N: 100, Flows: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 5000 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	prev := 0.0
+	for i, f := range flows {
+		if f.ID != i {
+			t.Fatalf("flow %d has ID %d", i, f.ID)
+		}
+		if f.Src == f.Dst {
+			t.Fatalf("flow %d: src == dst == %d", i, f.Src)
+		}
+		if f.Src < 0 || f.Src >= 100 || f.Dst < 0 || f.Dst >= 100 {
+			t.Fatalf("flow %d out of range: %+v", i, f)
+		}
+		if f.Arrival < prev {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+		prev = f.Arrival
+		if f.SizeBits != DefaultFlowSizeBits {
+			t.Fatalf("size = %v, want default", f.SizeBits)
+		}
+	}
+	// Poisson(100/s): 5000 flows should span roughly 50 seconds.
+	span := flows[len(flows)-1].Arrival
+	if span < 30 || span > 80 {
+		t.Errorf("5000 flows at 100/s span %.1fs, want ~50s", span)
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	if _, err := Uniform(UniformConfig{N: 1, Flows: 10}); err == nil {
+		t.Error("N=1 must error")
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, _ := Uniform(UniformConfig{N: 50, Flows: 100, Seed: 9})
+	b, _ := Uniform(UniformConfig{N: 50, Flows: 100, Seed: 9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs between equal seeds", i)
+		}
+	}
+}
+
+func TestUniformSourceDispersion(t *testing.T) {
+	flows, _ := Uniform(UniformConfig{N: 10, Flows: 10000, Seed: 3})
+	counts := make([]int, 10)
+	for _, f := range flows {
+		counts[f.Src]++
+	}
+	for as, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("AS %d sourced %d flows, want ~1000", as, c)
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	providers := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	consumers := []int{10, 11, 12, 13, 14}
+	flows, err := PowerLaw(PowerLawConfig{
+		Providers: providers, Consumers: consumers,
+		Alpha: 1.0, Flows: 20000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, f := range flows {
+		counts[f.Src]++
+		isConsumer := false
+		for _, c := range consumers {
+			if f.Dst == c {
+				isConsumer = true
+			}
+		}
+		if !isConsumer {
+			t.Fatalf("dst %d not a consumer", f.Dst)
+		}
+	}
+	// Zipf(1.0) over 10 ranks: rank 1 gets weight 1/H(10) ≈ 0.34 of traffic,
+	// rank 2 half of rank 1.
+	frac1 := float64(counts[0]) / float64(len(flows))
+	if frac1 < 0.28 || frac1 > 0.40 {
+		t.Errorf("rank-1 share = %v, want ~0.34", frac1)
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[3] {
+		t.Errorf("popularity not decreasing: %v", counts)
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if math.Abs(ratio-2) > 0.5 {
+		t.Errorf("rank1/rank2 = %v, want ~2 for alpha=1", ratio)
+	}
+}
+
+func TestPowerLawAlphaEffect(t *testing.T) {
+	providers := make([]int, 100)
+	for i := range providers {
+		providers[i] = i
+	}
+	consumers := []int{100, 101}
+	share := func(alpha float64) float64 {
+		flows, err := PowerLaw(PowerLawConfig{
+			Providers: providers, Consumers: consumers,
+			Alpha: alpha, Flows: 30000, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := 0
+		for _, f := range flows {
+			if f.Src < 10 {
+				top++
+			}
+		}
+		return float64(top) / float64(len(flows))
+	}
+	s08, s12 := share(0.8), share(1.2)
+	if s12 <= s08 {
+		t.Errorf("top-10 share should grow with alpha: a=0.8 -> %v, a=1.2 -> %v", s08, s12)
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	if _, err := PowerLaw(PowerLawConfig{Alpha: 1, Consumers: []int{1}}); err == nil {
+		t.Error("no providers must error")
+	}
+	if _, err := PowerLaw(PowerLawConfig{Alpha: 1, Providers: []int{1}}); err == nil {
+		t.Error("no consumers must error")
+	}
+	if _, err := PowerLaw(PowerLawConfig{Alpha: 0, Providers: []int{0}, Consumers: []int{1}}); err == nil {
+		t.Error("alpha <= 0 must error")
+	}
+}
+
+func TestPowerLawNeverSelfFlow(t *testing.T) {
+	// Provider 5 is also a consumer; flows from 5 must not target 5.
+	flows, err := PowerLaw(PowerLawConfig{
+		Providers: []int{5}, Consumers: []int{5, 6},
+		Alpha: 1, Flows: 500, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatalf("self flow: %+v", f)
+		}
+	}
+}
+
+func TestRankContentProviders(t *testing.T) {
+	// AS 0: stub with 3 providers+peers. AS 4 has many transit neighbors.
+	b := topo.NewBuilder(6)
+	b.AddPC(1, 0).AddPC(2, 0).AddPeer(0, 3)
+	b.AddPC(1, 4).AddPC(2, 4).AddPC(3, 4).AddPeer(4, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := RankContentProviders(g, 3)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if ranked[0] != 4 {
+		t.Errorf("top provider = %d, want 4 (4 transit neighbors)", ranked[0])
+	}
+	if ranked[1] != 0 {
+		t.Errorf("second = %d, want 0 (3 transit neighbors)", ranked[1])
+	}
+	// count > N clamps.
+	if got := RankContentProviders(g, 100); len(got) != 6 {
+		t.Errorf("clamped rank list = %d entries, want 6", len(got))
+	}
+}
+
+func TestStubASes(t *testing.T) {
+	b := topo.NewBuilder(4)
+	b.AddPC(0, 1).AddPC(0, 2).AddPC(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := StubASes(g)
+	want := map[int]bool{1: true, 3: true}
+	if len(stubs) != 2 || !want[stubs[0]] || !want[stubs[1]] {
+		t.Errorf("stubs = %v, want [1 3]", stubs)
+	}
+}
