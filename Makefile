@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench fuzz figures testbed results clean
+.PHONY: all build test race vet bench bench-json fuzz figures testbed results clean
 
 all: build test
 
@@ -16,10 +16,18 @@ test: vet
 	$(GO) test ./...
 
 race:
+	# Extra -count on the packages with the most cross-goroutine traffic
+	# (metrics/trace hot paths, simulator epochs) before the full sweep.
+	$(GO) test -race -count=2 ./internal/obs ./internal/netsim
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run xxx -bench=. -benchmem .
+
+# Machine-readable benchmark results for regression tracking.
+bench-json:
+	$(GO) test -run xxx -bench=. -benchmem -json . > BENCH_$$(date +%Y%m%d).json
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataplane"
 	"repro/internal/netd"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -29,6 +30,8 @@ func main() {
 		pkts    = flag.Int("pkts", 100, "packets to inject")
 		seed    = flag.Int64("seed", 1, "topology seed")
 		selfMon = flag.Bool("self", false, "derive congestion from measured socket traffic (EWMA link monitor) instead of a preset load")
+		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace and pprof on this address (e.g. :6060)")
+		linger  = flag.Duration("linger", 0, "keep running (and serving -debug-addr) this long after the experiment finishes")
 	)
 	flag.Parse()
 
@@ -65,13 +68,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// The daemons run concurrently with forwarding, as in the prototype.
+	runtime := core.NewRuntime(dep, 5*time.Millisecond)
+
+	if *dbgAddr != "" {
+		// One registry and one trace cover the whole stack: the fabric's
+		// packet counters, the daemons' control-loop timings, and the
+		// structured deflection/FIB-update event stream.
+		tr := obs.NewTrace(0)
+		fabric.EnableTrace(tr)
+		dep.Trace = tr
+		runtime.Instrument(fabric.Registry())
+		_, addr, err := obs.ServeDebug(*dbgAddr, fabric.Registry(), tr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server on http://%v (/metrics, /debug/vars, /debug/trace, /debug/pprof/)\n", addr)
+	}
+
 	fabric.Start()
 	defer fabric.Stop()
 	fmt.Printf("%d routers listening on loopback UDP (router 0 at %v)\n",
 		len(dep.Net.Routers), fabric.Addr(0))
 
-	// The daemons run concurrently with forwarding, as in the prototype.
-	runtime := core.NewRuntime(dep, 5*time.Millisecond)
 	runtime.Start()
 	defer runtime.Stop()
 
@@ -120,6 +140,7 @@ func main() {
 	}()
 
 	delivered := 0
+	timedOut := false
 	timeout := time.After(5 * time.Second)
 	for delivered < *pkts {
 		select {
@@ -131,6 +152,7 @@ func main() {
 			}
 		case <-timeout:
 			fmt.Printf("timed out with %d/%d delivered\n", delivered, *pkts)
+			timedOut = true
 			goto done
 		}
 	}
@@ -140,6 +162,14 @@ done:
 		s.Received, s.Forwarded, s.Deflected, s.Delivered)
 	fmt.Printf("drops: %d valley-free, %d no-route, %d TTL (a TTL drop would be a loop)\n",
 		s.DropValleyFree, s.DropNoRoute, s.DropTTL)
+	if *linger > 0 {
+		fmt.Printf("lingering %v (debug endpoints stay live)...\n", *linger)
+		time.Sleep(*linger)
+	}
+	if timedOut {
+		// An incomplete run is a failure: some packets were lost or looped.
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

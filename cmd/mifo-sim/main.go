@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "PRNG seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 		outDir  = flag.String("o", "", "also write each experiment's curves as gnuplot data files into this directory")
+		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6061) while experiments run")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -40,18 +42,45 @@ func main() {
 		}
 	}
 
+	// Experiment-progress metrics; live on -debug-addr so a long paper-scale
+	// run can be watched (and pprof'd) from outside.
+	reg := obs.NewRegistry()
+	expDone := reg.CounterVec("sim_experiments_total", "experiments finished, by outcome", "outcome")
+	expDur := reg.Histogram("sim_experiment_seconds", "wall-clock duration of one experiment",
+		[]float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800})
+	if *dbgAddr != "" {
+		_, addr, err := obs.ServeDebug(*dbgAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mifo-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# debug server on http://%v (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+	}
+
 	o := experiments.Options{N: *n, Flows: *flows, PairSamples: *pairs, ArrivalRate: *rate, Seed: *seed, Workers: *workers}
 	list := strings.Split(*exp, ",")
 	if *exp == "all" {
 		list = []string{"table1", "fig7", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig8", "fig9", "resilience", "strategy", "overhead"}
 	}
+	failed := 0
 	for _, e := range list {
 		start := time.Now()
-		if err := run(strings.TrimSpace(e), o, *outDir); err != nil {
+		err := run(strings.TrimSpace(e), o, *outDir)
+		expDur.Observe(time.Since(start).Seconds())
+		if err != nil {
+			// Keep going: one broken experiment must not suppress the rest
+			// of the suite's output, but the run as a whole still fails.
 			fmt.Fprintf(os.Stderr, "mifo-sim: %s: %v\n", e, err)
-			os.Exit(1)
+			expDone.With("error").Inc()
+			failed++
+			continue
 		}
+		expDone.With("ok").Inc()
 		fmt.Printf("# [%s done in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mifo-sim: %d/%d experiments failed\n", failed, len(list))
+		os.Exit(1)
 	}
 }
 

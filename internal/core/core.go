@@ -23,6 +23,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/dataplane"
 	"repro/internal/lpm"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 type Deployment struct {
 	Graph *topo.Graph
 	Net   *dataplane.Network
+	// Trace, when non-nil and enabled, receives an EvFIBUpdate event each
+	// time a daemon re-selects a destination's alternative — the audit
+	// trail of the control loop's choices.
+	Trace *obs.Trace
 	cfg   Config
 
 	// routersOf[v] lists the border routers of AS v.

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
+	"time"
+
 	"repro/internal/bgp"
 	"repro/internal/dataplane"
+	"repro/internal/obs"
 )
 
 // Daemon is one AS's MIFO daemon. In the paper's prototype this is a XORP
@@ -83,6 +87,7 @@ func (dm *Daemon) RefreshDestination(t *bgp.Dest) {
 		for _, id := range rs {
 			dm.dep.setAlt(id, dst, -1, -1)
 		}
+		dm.traceUpdate(dst, Selection{Port: -1}, false)
 		return
 	}
 	for _, id := range rs {
@@ -93,4 +98,25 @@ func (dm *Daemon) RefreshDestination(t *bgp.Dest) {
 			dm.dep.setAlt(id, dst, dm.dep.ibgp[id][sel.Router], sel.Router)
 		}
 	}
+	dm.traceUpdate(dst, sel, true)
+}
+
+// traceUpdate emits the FIB-update audit event for one destination
+// refresh when the deployment carries an enabled trace.
+func (dm *Daemon) traceUpdate(dst int32, sel Selection, chose bool) {
+	if !dm.dep.Trace.Enabled() {
+		return
+	}
+	e := obs.Event{
+		Time: time.Now().UnixNano(), Type: obs.EvFIBUpdate,
+		Node: int32(dm.as), A: int64(dst), B: int64(sel.Port),
+	}
+	if chose {
+		e.V = sel.SpareBps
+		e.Note = fmt.Sprintf("alt via AS %d (router %d port %d, spare %.0f bps)",
+			sel.Alt.Via, sel.Router, sel.Port, sel.SpareBps)
+	} else {
+		e.Note = "no alternative in RIB"
+	}
+	dm.dep.Trace.Emit(e)
 }

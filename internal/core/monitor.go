@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Meter estimates a link's transmit rate from byte observations with an
@@ -14,8 +16,15 @@ type Meter struct {
 	// halfLife is the EWMA half-life in seconds.
 	halfLife float64
 	rate     float64 // bits per second
-	lastAt   float64
-	started  bool
+	// pending accumulates bits observed at the same instant as lastAt;
+	// they are folded into the EWMA at the next time-advancing
+	// observation. (Adding raw bits straight into rate would mix units:
+	// bits into a bits-per-second average.)
+	pending float64
+	lastAt  float64
+	started bool
+	// gauge, when bound, mirrors the current estimate for exposition.
+	gauge *obs.Gauge
 }
 
 // NewMeter returns a meter with the given half-life (seconds; default 0.5).
@@ -24,6 +33,18 @@ func NewMeter(halfLife float64) *Meter {
 		halfLife = 0.5
 	}
 	return &Meter{halfLife: halfLife}
+}
+
+// Bind mirrors every rate update into the given gauge (bits per second),
+// typically one registered as a labeled series of a metrics registry.
+// Pass nil to unbind.
+func (m *Meter) Bind(g *obs.Gauge) {
+	m.mu.Lock()
+	m.gauge = g
+	if g != nil {
+		g.Set(m.rate)
+	}
+	m.mu.Unlock()
 }
 
 // Observe records that `bits` were sent during the interval ending at
@@ -39,13 +60,19 @@ func (m *Meter) Observe(bits float64, now float64) {
 	}
 	dt := now - m.lastAt
 	if dt <= 0 {
-		m.rate += bits // same instant: accumulate
+		// Same instant: no interval to divide by yet. Hold the bits and
+		// fold them in when time advances.
+		m.pending += bits
 		return
 	}
-	inst := bits / dt
+	inst := (m.pending + bits) / dt
+	m.pending = 0
 	w := math.Exp2(-dt / m.halfLife)
 	m.rate = w*m.rate + (1-w)*inst
 	m.lastAt = now
+	if m.gauge != nil {
+		m.gauge.Set(m.rate)
+	}
 }
 
 // Rate returns the current estimate in bits per second, decayed to `now`.

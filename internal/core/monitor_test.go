@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestMeterConvergesToSteadyRate(t *testing.T) {
@@ -50,6 +52,54 @@ func TestMeterTracksRateChanges(t *testing.T) {
 	}
 	if got := m.Rate(now); math.Abs(got-5e8) > 5e7 {
 		t.Errorf("after rate change = %v, want ~5e8", got)
+	}
+}
+
+// TestMeterSameInstantBitsKeepUnits is the regression test for a units bug:
+// bits observed at the same instant as the previous observation used to be
+// added raw into the bits-per-second EWMA (bits into a rate), inflating the
+// estimate by orders of magnitude. They must instead be held pending and
+// divided by the next real interval — so a stream delivered in same-instant
+// chunks reads the same rate as one delivered whole.
+func TestMeterSameInstantBitsKeepUnits(t *testing.T) {
+	split := NewMeter(0.5)
+	whole := NewMeter(0.5)
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		now += 0.01
+		// 1 Mbit per 10 ms = 100 Mbit/s, delivered as four chunks that
+		// share a timestamp (a burst draining in one poll).
+		for j := 0; j < 4; j++ {
+			split.Observe(2.5e5, now)
+		}
+		whole.Observe(1e6, now)
+	}
+	s, w := split.Rate(now), whole.Rate(now)
+	if math.Abs(s-1e8) > 5e6 {
+		t.Errorf("chunked stream rate = %v, want ~1e8 bps", s)
+	}
+	if math.Abs(s-w) > 1e6 {
+		t.Errorf("chunked rate %v diverges from whole-observation rate %v", s, w)
+	}
+}
+
+func TestMeterBindMirrorsGauge(t *testing.T) {
+	g := obs.NewRegistry().Gauge("test_rate_bps", "test")
+	m := NewMeter(0.5)
+	m.Bind(g)
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		now += 0.01
+		m.Observe(1e6, now)
+	}
+	if got, want := g.Value(), m.Rate(now); got != want {
+		t.Errorf("bound gauge = %v, meter rate = %v", got, want)
+	}
+	m.Bind(nil)
+	before := g.Value()
+	m.Observe(1e6, now+0.01)
+	if g.Value() != before {
+		t.Error("unbound gauge still updated")
 	}
 }
 

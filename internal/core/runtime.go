@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/obs"
 )
 
 // Runtime runs every daemon of a Deployment as its own goroutine, the way
@@ -19,6 +20,13 @@ type Runtime struct {
 	dep      *Deployment
 	interval time.Duration
 
+	// epochDur, when instrumented, records how long one daemon control
+	// epoch (a full refresh pass over every destination) takes — the
+	// Fig. 10 control-loop latency an operator watches to size the
+	// update interval.
+	epochDur *obs.Histogram
+	epochs   *obs.Counter
+
 	mu      sync.Mutex
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -32,6 +40,15 @@ func NewRuntime(dep *Deployment, interval time.Duration) *Runtime {
 		interval = 100 * time.Millisecond
 	}
 	return &Runtime{dep: dep, interval: interval}
+}
+
+// Instrument registers the runtime's control-loop metrics on reg:
+// core_daemon_epoch_seconds (histogram) and core_daemon_epochs_total
+// (counter). Call before Start.
+func (rt *Runtime) Instrument(reg *obs.Registry) {
+	rt.epochDur = reg.Histogram("core_daemon_epoch_seconds",
+		"duration of one MIFO daemon control epoch (refresh of every destination)", obs.DurationBuckets)
+	rt.epochs = reg.Counter("core_daemon_epochs_total", "control epochs executed across all daemons")
 }
 
 // Start launches one goroutine per capable AS. It is a no-op if already
@@ -62,8 +79,13 @@ func (rt *Runtime) loop(dm *Daemon) {
 		case <-rt.stop:
 			return
 		case <-ticker.C:
+			start := time.Now()
 			for _, t := range rt.dep.Tables() {
 				dm.RefreshDestination(t)
+			}
+			if rt.epochDur != nil {
+				rt.epochDur.Observe(time.Since(start).Seconds())
+				rt.epochs.Inc()
 			}
 		}
 	}

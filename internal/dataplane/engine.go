@@ -1,6 +1,11 @@
 package dataplane
 
-import "repro/internal/topo"
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
 
 // Forward executes Algorithm 1 (the MIFO forwarding engine) for one packet
 // arriving on input port in (-1 for locally originated traffic). It mutates
@@ -22,7 +27,7 @@ func (r *Router) Forward(p *Packet, in int) Action {
 		if p.OuterDst != r.ID {
 			// iBGP peers are directly connected (full mesh, Section IV);
 			// a foreign outer destination is a wiring error.
-			return Action{Verdict: VerdictDrop, Reason: DropNoRoute}
+			return r.countDrop(DropNoRoute, p)
 		}
 		sender = p.OuterSrc
 		p.Encap = false
@@ -44,7 +49,7 @@ func (r *Router) Forward(p *Packet, in int) Action {
 		e, ok = r.FIB.Lookup(p.Dst)
 	}
 	if !ok {
-		return Action{Verdict: VerdictDrop, Reason: DropNoRoute}
+		return r.countDrop(DropNoRoute, p)
 	}
 	if e.Out < 0 {
 		return Action{Verdict: VerdictDeliver}
@@ -72,15 +77,17 @@ func (r *Router) Forward(p *Packet, in int) Action {
 			p.Encap = true
 			p.OuterSrc = r.ID
 			p.OuterDst = e.AltVia
+			r.countDeflect(obs.EvEncap, p, e.Alt, int64(e.AltVia), bounced)
 			return Action{Verdict: VerdictForward, Port: e.Alt, Deflected: true}
 		}
 		// Lines 16-20: tag-check. The alternative is valley-free iff the
 		// downstream neighbor is a customer or the packet entered this AS
 		// from a customer.
 		if r.DisableTagCheck || alt.Rel == topo.Customer || p.Tag {
+			r.countDeflect(obs.EvDeflect, p, e.Alt, int64(alt.PeerAS), bounced)
 			return Action{Verdict: VerdictForward, Port: e.Alt, Deflected: true}
 		}
-		return Action{Verdict: VerdictDrop, Reason: DropValleyFree}
+		return r.countDrop(DropValleyFree, p)
 	}
 
 	// Line 22: default path.
@@ -92,4 +99,24 @@ func (r *Router) deflect(k FlowKey) bool {
 		return true
 	}
 	return r.Deflect(k)
+}
+
+// countDeflect records an alternative-path decision: the deflection
+// counter always, a trace event when a trace is attached. via is the
+// next-hop identity (outer destination router for encap, peer AS for a
+// direct eBGP deflection); bounced distinguishes the iBGP hand-back case
+// from a congestion-triggered deflection.
+func (r *Router) countDeflect(typ obs.EventType, p *Packet, port int, via int64, bounced bool) {
+	r.deflections.Add(1)
+	if !r.Trace.Enabled() {
+		return
+	}
+	note := "congested default"
+	if bounced {
+		note = "bounced by iBGP peer"
+	}
+	r.Trace.Emit(obs.Event{
+		Time: time.Now().UnixNano(), Type: typ, Node: int32(r.ID),
+		A: int64(p.Dst), B: via, V: r.SpareCapacity(port), Note: note,
+	})
 }

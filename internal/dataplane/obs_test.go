@@ -1,0 +1,137 @@
+package dataplane
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// twoPortRouter builds a router with a congested default eBGP port and a
+// peer-class alternative, plus a FIB entry for dst 7.
+func twoPortRouter(alt topo.Rel) *Router {
+	r := NewRouter(0, 1)
+	out := r.AddPort(Port{Kind: EBGP, Peer: 1, PeerAS: 2, Rel: topo.Provider, CapacityBps: 1e9})
+	altP := r.AddPort(Port{Kind: EBGP, Peer: 2, PeerAS: 3, Rel: alt, CapacityBps: 1e9})
+	r.FIB.Set(7, FIBEntry{Out: out, Alt: altP, AltVia: 2})
+	r.SetQueueRatio(out, 1) // congested default
+	return r
+}
+
+func TestRouterDropCountersByReason(t *testing.T) {
+	r := NewRouter(0, 1)
+	p := &Packet{Dst: 9, TTL: 8}
+	if act := r.Forward(p, -1); act.Reason != DropNoRoute {
+		t.Fatalf("verdict = %+v, want no-route drop", act)
+	}
+	if got := r.Drops(DropNoRoute); got != 1 {
+		t.Errorf("Drops(no-route) = %d, want 1", got)
+	}
+
+	// A peer-class alternative with an unset tag fails the tag-check.
+	r2 := twoPortRouter(topo.Peer)
+	p2 := &Packet{Dst: 7, TTL: 8}
+	in := 0 // entered from the provider port: tag stays false
+	if act := r2.Forward(p2, in); act.Reason != DropValleyFree {
+		t.Fatalf("verdict = %+v, want valley-free drop", act)
+	}
+	if got := r2.Drops(DropValleyFree); got != 1 {
+		t.Errorf("Drops(valley-free) = %d, want 1", got)
+	}
+	if got := r2.Drops(DropNone); got != 0 {
+		t.Errorf("Drops(none) = %d, want 0", got)
+	}
+	if got := r2.Drops(DropReason(99)); got != 0 {
+		t.Errorf("Drops(out-of-range) = %d, want 0", got)
+	}
+}
+
+func TestRouterDeflectionCounterAndTrace(t *testing.T) {
+	r := twoPortRouter(topo.Customer)
+	tr := obs.NewTrace(16)
+	r.Trace = tr
+	p := &Packet{Dst: 7, TTL: 8}
+	act := r.Forward(p, -1) // host-originated: tag set, deflection admissible
+	if act.Verdict != VerdictForward || !act.Deflected {
+		t.Fatalf("verdict = %+v, want deflected forward", act)
+	}
+	if got := r.Deflections(); got != 1 {
+		t.Errorf("Deflections = %d, want 1", got)
+	}
+	events := tr.Snapshot()
+	if len(events) != 1 {
+		t.Fatalf("trace events = %d, want 1", len(events))
+	}
+	e := events[0]
+	if e.Type != obs.EvDeflect || e.Node != 0 || e.A != 7 || e.B != 3 {
+		t.Errorf("deflect event = %+v", e)
+	}
+	if e.Note != "congested default" {
+		t.Errorf("note = %q", e.Note)
+	}
+}
+
+func TestRouterEncapTraceEvent(t *testing.T) {
+	r := NewRouter(0, 1)
+	out := r.AddPort(Port{Kind: EBGP, Peer: 1, PeerAS: 2, Rel: topo.Provider, CapacityBps: 1e9})
+	ib := r.AddPort(Port{Kind: IBGP, Peer: 5, PeerAS: 1, CapacityBps: 1e10})
+	r.FIB.Set(7, FIBEntry{Out: out, Alt: ib, AltVia: 5})
+	r.SetQueueRatio(out, 1)
+	tr := obs.NewTrace(16)
+	r.Trace = tr
+
+	p := &Packet{Dst: 7, TTL: 8}
+	act := r.Forward(p, -1)
+	if !act.Deflected || !p.Encap {
+		t.Fatalf("want encapsulating deflection, got %+v (encap=%v)", act, p.Encap)
+	}
+	events := tr.Snapshot()
+	if len(events) != 1 || events[0].Type != obs.EvEncap || events[0].B != 5 {
+		t.Fatalf("encap event = %+v", events)
+	}
+}
+
+func TestRouterTraceDropEvent(t *testing.T) {
+	r := twoPortRouter(topo.Peer)
+	tr := obs.NewTrace(16)
+	r.Trace = tr
+	if act := r.Forward(&Packet{Dst: 7, TTL: 8}, 0); act.Reason != DropValleyFree {
+		t.Fatalf("want valley-free drop, got %+v", act)
+	}
+	events := tr.Snapshot()
+	if len(events) != 1 || events[0].Type != obs.EvTagDrop {
+		t.Fatalf("tag-drop event = %+v", events)
+	}
+}
+
+func TestNetworkSendCountsTTLDrop(t *testing.T) {
+	// Two routers forwarding to each other forever: TTL must expire and be
+	// counted at the router where it died.
+	n := NewNetwork()
+	a := n.AddRouter(1)
+	b := n.AddRouter(2)
+	pa, pb := n.Connect(a.ID, b.ID, EBGP, topo.Customer, 1e9)
+	a.FIB.Set(7, FIBEntry{Out: pa, Alt: -1, AltVia: -1})
+	b.FIB.Set(7, FIBEntry{Out: pb, Alt: -1, AltVia: -1})
+	res := n.Send(&Packet{Dst: 7, TTL: 6}, a.ID)
+	if res.Reason != DropTTL {
+		t.Fatalf("want TTL drop, got %+v", res)
+	}
+	if got := n.Router(res.At).Drops(DropTTL); got != 1 {
+		t.Errorf("TTL drops at router %d = %d, want 1", res.At, got)
+	}
+}
+
+// The hot path must not pay for tracing when no trace is attached.
+func BenchmarkForwardDefaultPathNoTrace(b *testing.B) {
+	r := NewRouter(0, 1)
+	out := r.AddPort(Port{Kind: EBGP, Peer: 1, PeerAS: 2, Rel: topo.Customer, CapacityBps: 1e9})
+	r.FIB.Set(7, FIBEntry{Out: out, Alt: -1, AltVia: -1})
+	p := &Packet{Dst: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.TTL = 8
+		p.Tag = false
+		r.Forward(p, -1)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lpm"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -191,6 +193,17 @@ type Router struct {
 	// demonstrate and measure the data-plane loops the check prevents
 	// (Fig. 2(a)); never disable it in a real deployment.
 	DisableTagCheck bool
+	// Trace, when non-nil and enabled, receives a structured event for
+	// every deflection, encapsulation, and drop the engine decides — the
+	// forwarding-decision audit stream. A nil trace costs one pointer
+	// check on the affected branches and nothing on the default path.
+	Trace *obs.Trace
+
+	// drops counts discarded packets by DropReason; deflections counts
+	// packets sent to the alternative path. Exposed via Drops and
+	// Deflections so operators can ask a live router where traffic dies.
+	drops       [4]atomic.Int64
+	deflections atomic.Int64
 }
 
 // NewRouter returns a MIFO-enabled router with an empty FIB.
@@ -239,4 +252,34 @@ func (r *Router) SpareCapacity(port int) float64 {
 // Congested reports whether a port's queue ratio crosses the threshold.
 func (r *Router) Congested(port int) bool {
 	return r.QueueRatio(port) >= r.CongestionThreshold
+}
+
+// Drops returns how many packets this router discarded for the given
+// reason (DropNone always reads 0).
+func (r *Router) Drops(reason DropReason) int64 {
+	if reason < 0 || int(reason) >= len(r.drops) {
+		return 0
+	}
+	return r.drops[reason].Load()
+}
+
+// Deflections returns how many packets this router sent to an alternative
+// path (directly or via iBGP encapsulation).
+func (r *Router) Deflections() int64 { return r.deflections.Load() }
+
+// countDrop records a drop and traces it, then builds the drop action. It
+// is the single bookkeeping point for every discard the engine decides.
+func (r *Router) countDrop(reason DropReason, p *Packet) Action {
+	r.drops[reason].Add(1)
+	if r.Trace.Enabled() {
+		typ := obs.EvDrop
+		if reason == DropValleyFree {
+			typ = obs.EvTagDrop
+		}
+		r.Trace.Emit(obs.Event{
+			Time: time.Now().UnixNano(), Type: typ, Node: int32(r.ID),
+			A: int64(reason), B: int64(p.Dst), Note: reason.String(),
+		})
+	}
+	return Action{Verdict: VerdictDrop, Reason: reason}
 }

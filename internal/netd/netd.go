@@ -13,12 +13,14 @@ package netd
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataplane"
+	"repro/internal/obs"
 )
 
 // Delivery is a packet that reached its destination AS.
@@ -31,7 +33,18 @@ type Delivery struct {
 
 // Stats aggregates a node's counters.
 type Stats struct {
+	// Received counts datagrams that arrived on the node's socket;
+	// Injected counts packets originated locally through Inject. Every
+	// received or injected packet ends in exactly one of the outcome
+	// counters below, so
+	//
+	//	Received + Injected ==
+	//	    Forwarded + Delivered + drops + ParseErrors
+	//
+	// holds at quiescence (the invariant TestStatsInvariantUnderLoad
+	// asserts under -race).
 	Received                             int64
+	Injected                             int64
 	Forwarded                            int64
 	Deflected                            int64
 	Delivered                            int64
@@ -39,7 +52,9 @@ type Stats struct {
 	ParseErrors                          int64
 }
 
-// node is one router's networked incarnation.
+// node is one router's networked incarnation. Its counters are handles
+// into the fabric's metrics registry (label router="<id>"), resolved once
+// at construction so the receive path never touches the registry's locks.
 type node struct {
 	router *dataplane.Router
 	conn   *net.UDPConn
@@ -51,15 +66,21 @@ type node struct {
 	// txBytes counts bytes written per port, sampled by the link monitor.
 	txBytes []atomic.Int64
 
-	received, forwarded, deflected, delivered atomic.Int64
-	dropNoRoute, dropValleyFree, dropTTL      atomic.Int64
-	parseErrors                               atomic.Int64
+	received, injected, forwarded, deflected, delivered *obs.Counter
+	dropNoRoute, dropValleyFree, dropTTL                *obs.Counter
+	parseErrors                                         *obs.Counter
+	// procLatency is the node's receive-path processing time: unmarshal
+	// plus forwarding decision plus transmit.
+	procLatency *obs.Histogram
 }
 
 // Fabric wires and runs all nodes of a network.
 type Fabric struct {
 	Net   *dataplane.Network
 	nodes []*node
+
+	reg      *obs.Registry
+	linkRate *obs.GaugeVec
 
 	deliveries chan Delivery
 	wg         sync.WaitGroup
@@ -70,7 +91,16 @@ type Fabric struct {
 // NewFabric binds one loopback UDP socket per router and cross-wires peer
 // addresses according to the network's ports. Call Start to begin serving.
 func NewFabric(n *dataplane.Network) (*Fabric, error) {
-	f := &Fabric{Net: n, deliveries: make(chan Delivery, 1024)}
+	f := &Fabric{Net: n, deliveries: make(chan Delivery, 1024), reg: obs.NewRegistry()}
+	recv := f.reg.CounterVec("netd_received_total", "datagrams received on the node's UDP socket", "router")
+	inj := f.reg.CounterVec("netd_injected_total", "packets originated locally via Inject", "router")
+	fwd := f.reg.CounterVec("netd_forwarded_total", "packets sent towards a peer router", "router")
+	defl := f.reg.CounterVec("netd_deflected_total", "packets forwarded on the alternative path", "router")
+	delv := f.reg.CounterVec("netd_delivered_total", "packets delivered at their destination AS", "router")
+	drops := f.reg.CounterVec("netd_drops_total", "packets discarded, by reason", "router", "reason")
+	perr := f.reg.CounterVec("netd_parse_errors_total", "datagrams that failed to unmarshal", "router")
+	lat := f.reg.HistogramVec("netd_process_seconds", "receive-path processing time per datagram", obs.DurationBuckets, "router")
+	f.linkRate = f.reg.GaugeVec("netd_link_rate_bps", "EWMA-smoothed transmit rate per port (bits/s), from the link monitor", "router", "port")
 	f.nodes = make([]*node, len(n.Routers))
 	for i, r := range n.Routers {
 		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
@@ -78,12 +108,23 @@ func NewFabric(n *dataplane.Network) (*Fabric, error) {
 			f.closeAll()
 			return nil, fmt.Errorf("netd: bind router %d: %w", i, err)
 		}
+		id := strconv.Itoa(i)
 		f.nodes[i] = &node{
-			router:       r,
-			conn:         conn,
-			peerAddr:     make([]*net.UDPAddr, len(r.Ports)),
-			portBySender: make(map[string]int, len(r.Ports)),
-			txBytes:      make([]atomic.Int64, len(r.Ports)),
+			router:         r,
+			conn:           conn,
+			peerAddr:       make([]*net.UDPAddr, len(r.Ports)),
+			portBySender:   make(map[string]int, len(r.Ports)),
+			txBytes:        make([]atomic.Int64, len(r.Ports)),
+			received:       recv.With(id),
+			injected:       inj.With(id),
+			forwarded:      fwd.With(id),
+			deflected:      defl.With(id),
+			delivered:      delv.With(id),
+			dropNoRoute:    drops.With(id, "no_route"),
+			dropValleyFree: drops.With(id, "valley_free"),
+			dropTTL:        drops.With(id, "ttl"),
+			parseErrors:    perr.With(id),
+			procLatency:    lat.With(id),
 		}
 	}
 	// Second pass: every port learns its peer's socket address.
@@ -146,7 +187,22 @@ func (f *Fabric) Inject(p *dataplane.Packet, origin dataplane.RouterID) {
 	if p.TTL <= 0 {
 		p.TTL = dataplane.DefaultTTL
 	}
-	f.process(f.nodes[origin], p, -1)
+	nd := f.nodes[origin]
+	nd.injected.Inc()
+	f.process(nd, p, -1)
+}
+
+// Registry exposes the fabric's metrics registry — per-node counters,
+// drop reasons, and receive-path latency histograms — for exposition on a
+// debug endpoint or for sharing with other instrumented components.
+func (f *Fabric) Registry() *obs.Registry { return f.reg }
+
+// EnableTrace attaches a forwarding-decision trace to every router of the
+// fabric. Pass nil to detach.
+func (f *Fabric) EnableTrace(tr *obs.Trace) {
+	for _, nd := range f.nodes {
+		nd.router.Trace = tr
+	}
 }
 
 // Addr returns the UDP address a router listens on (for external senders).
@@ -158,14 +214,15 @@ func (f *Fabric) Addr(id dataplane.RouterID) *net.UDPAddr {
 func (f *Fabric) StatsOf(id dataplane.RouterID) Stats {
 	nd := f.nodes[id]
 	return Stats{
-		Received:       nd.received.Load(),
-		Forwarded:      nd.forwarded.Load(),
-		Deflected:      nd.deflected.Load(),
-		Delivered:      nd.delivered.Load(),
-		DropNoRoute:    nd.dropNoRoute.Load(),
-		DropValleyFree: nd.dropValleyFree.Load(),
-		DropTTL:        nd.dropTTL.Load(),
-		ParseErrors:    nd.parseErrors.Load(),
+		Received:       nd.received.Value(),
+		Injected:       nd.injected.Value(),
+		Forwarded:      nd.forwarded.Value(),
+		Deflected:      nd.deflected.Value(),
+		Delivered:      nd.delivered.Value(),
+		DropNoRoute:    nd.dropNoRoute.Value(),
+		DropValleyFree: nd.dropValleyFree.Value(),
+		DropTTL:        nd.dropTTL.Value(),
+		ParseErrors:    nd.parseErrors.Value(),
 	}
 }
 
@@ -175,6 +232,7 @@ func (f *Fabric) TotalStats() Stats {
 	for i := range f.nodes {
 		s := f.StatsOf(dataplane.RouterID(i))
 		t.Received += s.Received
+		t.Injected += s.Injected
 		t.Forwarded += s.Forwarded
 		t.Deflected += s.Deflected
 		t.Delivered += s.Delivered
@@ -195,10 +253,11 @@ func (f *Fabric) serve(nd *node) {
 		if err != nil {
 			return // socket closed by Stop
 		}
-		nd.received.Add(1)
+		start := time.Now()
+		nd.received.Inc()
 		p, perr := dataplane.UnmarshalPacket(buf[:n])
 		if perr != nil {
-			nd.parseErrors.Add(1)
+			nd.parseErrors.Inc()
 			continue
 		}
 		in, known := nd.portBySender[from.String()]
@@ -206,20 +265,21 @@ func (f *Fabric) serve(nd *node) {
 			in = -1 // treat unknown senders as host traffic
 		}
 		f.process(nd, p, in)
+		nd.procLatency.Observe(time.Since(start).Seconds())
 	}
 }
 
 // process runs the forwarding engine and acts on its verdict.
 func (f *Fabric) process(nd *node, p *dataplane.Packet, in int) {
 	if p.TTL <= 0 {
-		nd.dropTTL.Add(1)
+		nd.dropTTL.Inc()
 		return
 	}
 	p.TTL--
 	act := nd.router.Forward(p, in)
 	switch act.Verdict {
 	case dataplane.VerdictDeliver:
-		nd.delivered.Add(1)
+		nd.delivered.Inc()
 		select {
 		case f.deliveries <- Delivery{Packet: *p, At: nd.router.ID}:
 		default: // consumer not keeping up; stats still count it
@@ -227,22 +287,22 @@ func (f *Fabric) process(nd *node, p *dataplane.Packet, in int) {
 	case dataplane.VerdictDrop:
 		switch act.Reason {
 		case dataplane.DropValleyFree:
-			nd.dropValleyFree.Add(1)
+			nd.dropValleyFree.Inc()
 		case dataplane.DropTTL:
-			nd.dropTTL.Add(1)
+			nd.dropTTL.Inc()
 		default:
-			nd.dropNoRoute.Add(1)
+			nd.dropNoRoute.Inc()
 		}
 	case dataplane.VerdictForward:
 		addr := nd.peerAddr[act.Port]
 		if addr == nil {
-			nd.dropNoRoute.Add(1)
+			nd.dropNoRoute.Inc()
 			return
 		}
 		if act.Deflected {
-			nd.deflected.Add(1)
+			nd.deflected.Inc()
 		}
-		nd.forwarded.Add(1)
+		nd.forwarded.Inc()
 		// Best-effort datagram send, like the real data plane.
 		wire := dataplane.MarshalPacket(p)
 		nd.txBytes[act.Port].Add(int64(len(wire)))
@@ -269,6 +329,9 @@ func (f *Fabric) MonitorLoads(interval time.Duration) (stop func()) {
 			prev[i] = make([]int64, len(nd.txBytes))
 			for p := range meters[i] {
 				meters[i][p] = core.NewMeter(4 * interval.Seconds())
+				// Publish each meter's smoothed rate as a live gauge so
+				// /metrics shows what the congestion signal actually sees.
+				meters[i][p].Bind(f.linkRate.With(strconv.Itoa(i), strconv.Itoa(p)))
 			}
 		}
 		start := time.Now()

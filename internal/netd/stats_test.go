@@ -1,0 +1,98 @@
+package netd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// outcomes sums the terminal counters a received or injected packet can
+// land in.
+func outcomes(s Stats) int64 {
+	return s.Forwarded + s.Delivered + s.DropNoRoute + s.DropValleyFree + s.DropTTL + s.ParseErrors
+}
+
+// TestStatsInvariantUnderLoad asserts the conservation invariant documented
+// on Stats — Received + Injected == Forwarded + Delivered + drops +
+// ParseErrors — after a multi-node run with concurrent daemon goroutines,
+// live tracing, and the link monitor all running. The Makefile's race
+// matrix runs this package under -race, so the invariant doubles as a data
+// race probe over every counter path.
+func TestStatsInvariantUnderLoad(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 40, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := core.NewDeployment(g, core.Config{})
+	dep.InstallDestination(bgp.Compute(g, 0))
+	for v := 0; v < g.N(); v++ {
+		for j, nb := range g.Neighbors(v) {
+			if (v+j)%3 == 0 {
+				dep.SetLinkLoad(v, int(nb.AS), 1e9)
+			}
+		}
+	}
+
+	f, err := NewFabric(dep.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.EnableTrace(obs.NewTrace(512))
+	f.Start()
+	defer f.Stop()
+	stopMon := f.MonitorLoads(2 * time.Millisecond)
+	defer stopMon()
+	rt := core.NewRuntime(dep, 2*time.Millisecond)
+	rt.Instrument(f.Registry())
+	rt.Start()
+	defer rt.Stop()
+
+	const packets = 400
+	for i := 0; i < packets; i++ {
+		if i%16 == 15 {
+			time.Sleep(time.Millisecond) // avoid loopback buffer overruns
+		}
+		src := 1 + i%(g.N()-1)
+		f.Inject(&dataplane.Packet{
+			Flow: dataplane.FlowKey{SrcAddr: uint32(src), DstAddr: dataplane.PrefixAddr(0), SrcPort: uint16(i), Proto: 6},
+			Dst:  0,
+		}, dep.Routers(src)[0].ID)
+	}
+
+	// Quiescence: every injected packet (and every hop it spawned) has
+	// reached a terminal counter and the totals have stopped moving.
+	waitStats(t, f, func(s Stats) bool { return s.Injected == packets && outcomes(s) == s.Received+s.Injected })
+	var last Stats
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cur := f.TotalStats()
+		if cur == last {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never quiesced; totals: %+v", cur)
+		}
+		last = cur
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	s := f.TotalStats()
+	if got, want := outcomes(s), s.Received+s.Injected; got != want {
+		t.Errorf("outcome sum %d != received+injected %d; totals: %+v", got, want, s)
+	}
+	if s.Delivered == 0 {
+		t.Error("nothing was delivered")
+	}
+	// The invariant holds per node too, not just in aggregate.
+	for i := range dep.Net.Routers {
+		ns := f.StatsOf(dataplane.RouterID(i))
+		if outcomes(ns) != ns.Received+ns.Injected {
+			t.Errorf("router %d violates the invariant: %+v", i, ns)
+		}
+	}
+}

@@ -1,7 +1,11 @@
 package netsim
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/bgp"
+	"repro/internal/obs"
 )
 
 // adaptFlow performs one MIFO control decision for a flow: return to a
@@ -30,6 +34,14 @@ func (s *Sim) adaptFlow(st *flowState, table *bgp.Dest) bool {
 		claim := s.spare(st.trigLink)
 		if claim < st.rate {
 			claim = st.rate
+		}
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.Emit(obs.Event{
+				Time: int64(s.now * 1e9), Type: obs.EvReturn,
+				Node: int32(s.linkOwner(st.trigLink)), A: int64(st.ID), V: claim,
+				Note: fmt.Sprintf("flow %d back on default: trigger link util %.2f <= %.2f",
+					st.ID, s.util(st.trigLink), s.cfg.ReturnThreshold),
+			})
 		}
 		s.setPath(st, st.defPath, claim)
 		st.onAlt = false
@@ -68,6 +80,15 @@ func (s *Sim) adaptFlow(st *flowState, table *bgp.Dest) bool {
 		// originated here.
 		bit := i == 0 || s.g.IsCustomer(u, st.path[i-1])
 		if newPath, claim, ok := s.bestAlternative(table, st.path, i, bit, expected); ok {
+			if s.cfg.Trace.Enabled() {
+				s.cfg.Trace.Emit(obs.Event{
+					Time: int64(s.now * 1e9), Type: obs.EvDeflect,
+					Node: int32(u), A: int64(st.ID), B: int64(newPath[i+1]), V: claim,
+					Note: fmt.Sprintf(
+						"flow %d deflected at border AS %d: egress util %.2f, via AS %d; ranking [%s]",
+						st.ID, u, s.util(egress), newPath[i+1], strings.Join(s.rank, " ")),
+				})
+			}
 			if !st.onAlt {
 				st.trigLink = egress
 			}
@@ -101,9 +122,17 @@ const deflectGain = 1.1
 // spare of the direct link). The winner must beat the flow's expected rate
 // by deflectGain. It returns the full new path and the rate the flow can
 // expect there (the quality estimate).
+//
+// When the trace is enabled it also rebuilds s.rank with every admissible
+// candidate's quality estimate ("AS<via>:<spare bps>", RIB order), so the
+// caller's deflection event records the ranking that drove the choice.
 func (s *Sim) bestAlternative(table *bgp.Dest, path []int, i int, bit bool, expected float64) ([]int, float64, bool) {
 	u := path[i]
 	curNext := path[i+1]
+	ranking := s.cfg.Trace.Enabled()
+	if ranking {
+		s.rank = s.rank[:0]
+	}
 	var bestPath []int
 	bestSpare := -1.0
 	for _, alt := range bgp.RIB(s.g, table, u) {
@@ -137,7 +166,13 @@ func (s *Sim) bestAlternative(table *bgp.Dest, path []int, i int, bit bool, expe
 		case QualityFirst:
 			// Route preference only: the RIB is sorted best-first, so
 			// the first admissible candidate wins.
+			if ranking {
+				s.rank = append(s.rank, fmt.Sprintf("AS%d:%.0f", alt.Via, sp))
+			}
 			return cand, sp, true
+		}
+		if ranking {
+			s.rank = append(s.rank, fmt.Sprintf("AS%d:%.0f", alt.Via, sp))
 		}
 		if sp > bestSpare {
 			bestPath, bestSpare = cand, sp

@@ -20,6 +20,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/eventq"
 	"repro/internal/miro"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -104,6 +105,12 @@ type Config struct {
 	MIRO miro.Config
 	// Workers bounds parallelism for route precomputation (0 = all CPUs).
 	Workers int
+	// Trace, when non-nil and enabled, receives the forwarding-decision
+	// audit stream: every deflection and return with the flow, the
+	// deciding border AS, and the spare-capacity ranking that drove the
+	// choice (Section III-C), plus a snapshot event per control epoch.
+	// Event times are virtual simulation time in nanoseconds.
+	Trace *obs.Trace
 
 	// Failures injects link failures (an extension experiment: MIFO's
 	// data-plane deflection reacts to a dead egress instantly, while BGP
@@ -210,6 +217,7 @@ type Sim struct {
 	count    []int32   // scratch for max-min
 	flowsOn  [][]int32 // scratch: active flow indices per link
 	touched  []int32   // links referenced by active flows
+	rank     []string  // scratch: candidate ranking for trace notes
 
 	// Failure state.
 	failedGraph  *topo.Graph       // g minus failed links; nil when intact
@@ -338,6 +346,11 @@ func (s *Sim) linkID(v, u int) int32 {
 	return s.linkOff[v] + int32(i)
 }
 
+// linkOwner returns the AS that owns directed link l (the v of v -> u).
+func (s *Sim) linkOwner(l int32) int {
+	return sort.Search(s.g.N(), func(v int) bool { return s.linkOff[v+1] > l })
+}
+
 // precomputeRoutes computes a BGP table for every distinct destination.
 func (s *Sim) precomputeRoutes(flows []traffic.Flow) error {
 	seen := map[int]bool{}
@@ -440,7 +453,7 @@ func (s *Sim) handleCompletions() {
 
 func (s *Sim) handleEpoch() {
 	if s.cfg.Policy == PolicyMIFO {
-		changed := false
+		moved := 0
 		for _, fi := range s.active {
 			st := s.flows[fi]
 			if st.switches >= s.cfg.MaxSwitches {
@@ -448,12 +461,13 @@ func (s *Sim) handleEpoch() {
 			}
 			table := s.tables[st.Dst]
 			if s.adaptFlow(st, table) {
-				changed = true
+				moved++
 			}
 		}
-		if changed {
+		if moved > 0 {
 			s.afterTopologyChange()
 		}
+		s.traceEpoch(moved)
 	}
 	// Keep ticking while there is anything an epoch could still influence.
 	// If every active flow is permanently stalled and no other event is
@@ -463,6 +477,35 @@ func (s *Sim) handleEpoch() {
 		s.queue.Push(s.now+s.cfg.ControlInterval, evEpoch, nil)
 		s.epochOn = true
 	}
+}
+
+// traceEpoch emits the control-epoch summary snapshot: active flows, flows
+// moved this epoch, flows currently on an alternative path, and the worst
+// link utilization (over intact links).
+func (s *Sim) traceEpoch(moved int) {
+	if !s.cfg.Trace.Enabled() {
+		return
+	}
+	onAlt := 0
+	for _, fi := range s.active {
+		if s.flows[fi].onAlt {
+			onAlt++
+		}
+	}
+	maxUtil := 0.0
+	for l := 0; l < s.numLinks; l++ {
+		if s.capac[l] <= 0 {
+			continue
+		}
+		if u := s.load[l] / s.capac[l]; u > maxUtil {
+			maxUtil = u
+		}
+	}
+	s.cfg.Trace.Emit(obs.Event{
+		Time: int64(s.now * 1e9), Type: obs.EvEpoch,
+		A: int64(len(s.active)), B: int64(moved), V: maxUtil,
+		Note: fmt.Sprintf("%d/%d flows on alt paths, max link util %.2f", onAlt, len(s.active), maxUtil),
+	})
 }
 
 // afterTopologyChange recomputes fair rates and reschedules the next

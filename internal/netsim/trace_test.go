@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/traffic"
+)
+
+// TestTraceAuditsDeflectionDecisions drives the hog-and-returner scenario of
+// TestMIFOSwitchBack with a trace attached and checks the audit trail names
+// which flow was deflected, at which border AS, toward which neighbor, and
+// the spare-capacity ranking that drove the choice (Section III-C).
+func TestTraceAuditsDeflectionDecisions(t *testing.T) {
+	g := fig2aGraph(t)
+	flows := []traffic.Flow{
+		{ID: 0, Src: 1, Dst: 0, SizeBits: 100 * mb, Arrival: 0},
+		{ID: 1, Src: 1, Dst: 0, SizeBits: 200 * mb, Arrival: 0.05},
+	}
+	tr := obs.NewTrace(0)
+	res, err := Run(g, flows, Config{Policy: PolicyMIFO, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flows[1].UsedAlt || res.Flows[1].Switches != 2 {
+		t.Fatalf("scenario drifted: flow 1 usedAlt=%v switches=%d",
+			res.Flows[1].UsedAlt, res.Flows[1].Switches)
+	}
+
+	var deflects, returns, epochs []obs.Event
+	for _, e := range tr.Snapshot() {
+		switch e.Type {
+		case obs.EvDeflect:
+			deflects = append(deflects, e)
+		case obs.EvReturn:
+			returns = append(returns, e)
+		case obs.EvEpoch:
+			epochs = append(epochs, e)
+		}
+	}
+	if len(deflects) == 0 || len(returns) == 0 || len(epochs) == 0 {
+		t.Fatalf("trace missing event kinds: %d deflects, %d returns, %d epochs",
+			len(deflects), len(returns), len(epochs))
+	}
+
+	d := deflects[0]
+	if d.Node != 1 {
+		t.Errorf("deflection decided at AS %d, want border AS 1", d.Node)
+	}
+	if d.A != 1 {
+		t.Errorf("deflected flow id = %d, want 1", d.A)
+	}
+	if d.B != 2 && d.B != 3 {
+		t.Errorf("deflection via AS %d, want peer 2 or 3", d.B)
+	}
+	if d.V <= 0 {
+		t.Errorf("deflection spare-capacity estimate = %v, want > 0", d.V)
+	}
+	if d.Time != int64(0.05*1e9) {
+		t.Errorf("deflection at %d ns, want virtual arrival time %d", d.Time, int64(0.05*1e9))
+	}
+	// The ranking must list both admissible peer alternatives with their
+	// quality estimates — the evidence for why d.B won.
+	for _, want := range []string{"ranking [", "AS2:", "AS3:"} {
+		if !strings.Contains(d.Note, want) {
+			t.Errorf("deflection note %q missing %q", d.Note, want)
+		}
+	}
+
+	r := returns[0]
+	if r.A != 1 {
+		t.Errorf("returned flow id = %d, want 1", r.A)
+	}
+	if r.Node != 1 {
+		t.Errorf("return decided at AS %d, want trigger-link owner 1", r.Node)
+	}
+	if r.Time <= d.Time {
+		t.Errorf("return at %d ns not after deflection at %d ns", r.Time, d.Time)
+	}
+
+	// The return is an epoch decision, so some epoch snapshot must count a
+	// moved flow; while the flow is deflected, snapshots must count it on an
+	// alternative path.
+	var sawMoved, sawOnAlt bool
+	last := int64(-1)
+	for _, e := range epochs {
+		if e.Time < last {
+			t.Fatalf("epoch events out of order: %d after %d", e.Time, last)
+		}
+		last = e.Time
+		if e.B >= 1 {
+			sawMoved = true
+		}
+		if strings.HasPrefix(e.Note, "1/") {
+			sawOnAlt = true
+		}
+		if e.A < 0 || e.V < 0 {
+			t.Fatalf("bad epoch snapshot: %+v", e)
+		}
+	}
+	if !sawMoved {
+		t.Error("no epoch snapshot recorded a moved flow")
+	}
+	if !sawOnAlt {
+		t.Error("no epoch snapshot counted the deflected flow on an alt path")
+	}
+}
+
+// TestTraceDisabledLeavesRunIdentical checks a disabled (or absent) trace
+// changes nothing about the simulation result.
+func TestTraceDisabledLeavesRunIdentical(t *testing.T) {
+	g := fig2aGraph(t)
+	flows := []traffic.Flow{
+		{ID: 0, Src: 1, Dst: 0, SizeBits: 10 * mb, Arrival: 0},
+		{ID: 1, Src: 1, Dst: 0, SizeBits: 10 * mb, Arrival: 0.001},
+	}
+	base, err := Run(g, flows, Config{Policy: PolicyMIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace(8)
+	tr.SetEnabled(false)
+	traced, err := Run(g, flows, Config{Policy: PolicyMIFO, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != 0 {
+		t.Errorf("disabled trace recorded %d events", tr.Total())
+	}
+	for i := range base.Flows {
+		if base.Flows[i] != traced.Flows[i] {
+			t.Errorf("flow %d differs with trace attached: %+v vs %+v",
+				i, base.Flows[i], traced.Flows[i])
+		}
+	}
+}

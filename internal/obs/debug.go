@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the live debug endpoint:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    the process expvar namespace (reg is published there)
+//	/debug/pprof/  the standard pprof handlers
+//	/debug/trace   JSON dump of the trace ring (404 when tr is nil)
+//
+// reg may be nil to serve only pprof and expvar.
+func NewDebugMux(reg *Registry, tr *Trace) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		reg.PublishExpvar("mifo")
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tr != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			enc.Encode(struct {
+				Total  uint64  `json:"total"`
+				Events []Event `json:"events"`
+			}{Total: tr.Total(), Events: tr.Snapshot()})
+		})
+	}
+	return mux
+}
+
+// ServeDebug listens on addr (e.g. "localhost:6060" or ":0") and serves
+// the debug mux in the background. It returns the server (Close it to
+// stop) and the bound address.
+func ServeDebug(addr string, reg *Registry, tr *Trace) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg, tr)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dbg_pkts_total", "packets").Add(9)
+	tr := NewTrace(8)
+	tr.Emit(Event{Type: EvDeflect, Node: 2, A: 7, V: 5e8, Note: "spare 500 Mbps"})
+
+	srv, addr, err := ServeDebug("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "dbg_pkts_total 9") {
+		t.Errorf("/metrics code=%d body=%q", code, body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "dbg_pkts_total") {
+		t.Errorf("/debug/vars code=%d, missing registry metrics", code)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ code=%d", code)
+	}
+
+	code, body = get("/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace code=%d", code)
+	}
+	var dump struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v\n%s", err, body)
+	}
+	if dump.Total != 1 || len(dump.Events) != 1 || dump.Events[0].Note != "spare 500 Mbps" {
+		t.Errorf("/debug/trace dump = %+v", dump)
+	}
+	if !strings.Contains(body, `"type": "deflect"`) {
+		t.Errorf("event type not rendered as text: %s", body)
+	}
+}
+
+func TestDebugMuxWithoutTrace(t *testing.T) {
+	srv, addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/trace without trace: code=%d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkts_total", "packets processed").Add(7)
+	r.GaugeVec("link_bps", "link rate", "router", "port").With("3", "1").Set(2.5e6)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP pkts_total packets processed\n",
+		"# TYPE pkts_total counter\n",
+		"pkts_total 7\n",
+		"# TYPE link_bps gauge\n",
+		`link_bps{router="3",port="1"} 2.5e+06` + "\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.01"} 1` + "\n",
+		`lat_seconds_bucket{le="0.1"} 2` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"lat_seconds_sum 5.055\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted name order for diff-able output.
+	if strings.Index(out, "# TYPE lat_seconds") > strings.Index(out, "# TYPE link_bps") &&
+		strings.Index(out, "# TYPE link_bps") > strings.Index(out, "# TYPE pkts_total") {
+		t.Error("families not emitted in sorted order")
+	}
+}
+
+func TestHistogramLabelSeriesExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("proc_seconds", "", []float64{1}, "router")
+	v.With("0").Observe(0.5)
+	v.With("1").Observe(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`proc_seconds_bucket{router="0",le="1"} 1`,
+		`proc_seconds_bucket{router="1",le="1"} 0`,
+		`proc_seconds_bucket{router="1",le="+Inf"} 1`,
+		`proc_seconds_count{router="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpvarFuncRendersJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n_total", "").Add(2)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(r.ExpvarFunc().String()), &m); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	if m["n_total"] != float64(2) {
+		t.Errorf("n_total = %v, want 2", m["n_total"])
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	// Must not panic on repeat publication (expvar.Publish would).
+	r.PublishExpvar("obs_test_metrics")
+	r.PublishExpvar("obs_test_metrics")
+	NewRegistry().PublishExpvar("obs_test_metrics")
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRecordsAndSequences(t *testing.T) {
+	tr := NewTrace(8)
+	if !tr.Enabled() {
+		t.Fatal("new trace should be enabled")
+	}
+	tr.Emit(Event{Type: EvDeflect, Node: 3, A: 42, V: 1e9})
+	tr.Emit(Event{Type: EvTagDrop, Node: 5})
+	events := tr.Snapshot()
+	if len(events) != 2 {
+		t.Fatalf("len = %d, want 2", len(events))
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("sequence numbers = %d, %d, want 1, 2", events[0].Seq, events[1].Seq)
+	}
+	if events[0].Type != EvDeflect || events[0].Node != 3 || events[0].A != 42 {
+		t.Errorf("event 0 corrupted: %+v", events[0])
+	}
+}
+
+func TestTraceWraparound(t *testing.T) {
+	const capa = 16
+	tr := NewTrace(capa)
+	const emitted = 100
+	for i := 0; i < emitted; i++ {
+		tr.Emit(Event{Type: EvCustom, A: int64(i)})
+	}
+	if got := tr.Total(); got != emitted {
+		t.Errorf("total = %d, want %d", got, emitted)
+	}
+	if got := tr.Len(); got != capa {
+		t.Errorf("len = %d, want %d", got, capa)
+	}
+	events := tr.Snapshot()
+	if len(events) != capa {
+		t.Fatalf("snapshot len = %d, want %d", len(events), capa)
+	}
+	// Oldest-first: the retained window is the last capa emits.
+	for i, e := range events {
+		wantA := int64(emitted - capa + i)
+		if e.A != wantA || e.Seq != uint64(wantA+1) {
+			t.Fatalf("event %d = {Seq:%d A:%d}, want {Seq:%d A:%d}", i, e.Seq, e.A, wantA+1, wantA)
+		}
+	}
+}
+
+func TestTraceWraparoundAtExactBoundary(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 4; i++ {
+		tr.Emit(Event{A: int64(i)})
+	}
+	events := tr.Snapshot()
+	if len(events) != 4 || events[0].A != 0 || events[3].A != 3 {
+		t.Fatalf("boundary snapshot wrong: %+v", events)
+	}
+	tr.Emit(Event{A: 4}) // first overwrite
+	events = tr.Snapshot()
+	if len(events) != 4 || events[0].A != 1 || events[3].A != 4 {
+		t.Fatalf("post-overwrite snapshot wrong: %+v", events)
+	}
+}
+
+func TestTraceDisabledAndNil(t *testing.T) {
+	tr := NewTrace(4)
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Error("disabled trace reports enabled")
+	}
+	tr.Emit(Event{A: 1})
+	if tr.Total() != 0 {
+		t.Error("disabled trace recorded an event")
+	}
+
+	var nilTrace *Trace
+	if nilTrace.Enabled() {
+		t.Error("nil trace reports enabled")
+	}
+	nilTrace.Emit(Event{A: 1}) // must not panic
+	nilTrace.AddSink(func(Event) {})
+	if nilTrace.Snapshot() != nil || nilTrace.Total() != 0 || nilTrace.Len() != 0 {
+		t.Error("nil trace not inert")
+	}
+	nilTrace.Reset()
+}
+
+func TestTraceSinks(t *testing.T) {
+	tr := NewTrace(2)
+	var got []Event
+	tr.AddSink(func(e Event) { got = append(got, e) })
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{A: int64(i)})
+	}
+	// Sinks see every emit, not just the retained window.
+	if len(got) != 5 {
+		t.Fatalf("sink saw %d events, want 5", len(got))
+	}
+	if got[4].A != 4 || got[4].Seq != 5 {
+		t.Errorf("last sink event = %+v", got[4])
+	}
+}
+
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace(4)
+	tr.Emit(Event{A: 1})
+	tr.Reset()
+	if tr.Total() != 0 || tr.Len() != 0 {
+		t.Error("reset did not clear the ring")
+	}
+	tr.Emit(Event{A: 2})
+	if got := tr.Snapshot(); len(got) != 1 || got[0].Seq != 1 {
+		t.Errorf("post-reset sequencing wrong: %+v", got)
+	}
+}
+
+func TestTraceConcurrentEmit(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(Event{Type: EvCustom, A: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Total(); got != 4000 {
+		t.Errorf("total = %d, want 4000", got)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range tr.Snapshot() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in snapshot", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// The acceptance bar: an Emit on a disabled trace must cost < 50 ns so
+// instrumentation can stay compiled into the forwarding hot path.
+func BenchmarkTraceEmitDisabled(b *testing.B) {
+	tr := NewTrace(1024)
+	tr.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Type: EvDeflect, Node: 1, A: int64(i)})
+	}
+}
+
+func BenchmarkTraceEmitNil(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Type: EvDeflect, Node: 1, A: int64(i)})
+	}
+}
+
+func BenchmarkTraceEmitEnabled(b *testing.B) {
+	tr := NewTrace(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Type: EvDeflect, Node: 1, A: int64(i)})
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
