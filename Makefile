@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json fuzz figures testbed results clean
+.PHONY: all build test race audit-race vet bench bench-json fuzz figures testbed results clean
 
 all: build test
 
@@ -21,19 +21,29 @@ race:
 	$(GO) test -race -count=2 ./internal/obs ./internal/netsim
 	$(GO) test -race ./...
 
+# The flight recorder's concurrency surface: hop hooks fire from simulator
+# workers and netd receive loops while analysis reads stats.
+audit-race:
+	$(GO) test -race -count=2 ./internal/audit ./internal/dataplane ./internal/netsim ./internal/packetsim ./internal/netd
+
 bench:
 	$(GO) test -run xxx -bench=. -benchmem .
 
-# Machine-readable benchmark results for regression tracking.
+# Machine-readable benchmark results for regression tracking: the
+# forwarding hot path plus the flight recorder at every setting
+# (disabled / unsampled flow / full sampling). The committed
+# BENCH_dataplane.json is the reference snapshot backing the <2%
+# disabled-recorder overhead claim.
 bench-json:
-	$(GO) test -run xxx -bench=. -benchmem -json . > BENCH_$$(date +%Y%m%d).json
-	@echo "wrote BENCH_$$(date +%Y%m%d).json"
+	$(GO) test -run xxx -bench 'Forward|Journey' -benchmem -json ./internal/dataplane ./internal/audit > BENCH_dataplane.json
+	@echo "wrote BENCH_dataplane.json"
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
 	$(GO) test ./internal/dataplane -fuzz FuzzUnmarshalPacket -fuzztime 30s
 	$(GO) test ./internal/topo -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/traffic -fuzz FuzzReadCSV -fuzztime 30s
+	$(GO) test ./internal/audit -fuzz FuzzChecker -fuzztime 30s
 
 # Regenerate every figure at default scale into results/.
 figures:

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -33,6 +35,8 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 		outDir  = flag.String("o", "", "also write each experiment's curves as gnuplot data files into this directory")
 		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6061) while experiments run")
+		fltLog  = flag.String("flight-log", "", "record every simulated path as a JSONL flight record here (analyse with mifo-trace)")
+		fltRate = flag.Float64("flight-sample", 1.0, "fraction of flows the flight recorder samples (0..1]")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -58,6 +62,37 @@ func main() {
 	}
 
 	o := experiments.Options{N: *n, Flows: *flows, PairSamples: *pairs, ArrivalRate: *rate, Seed: *seed, Workers: *workers}
+
+	// Flight recorder: every simulated path is recorded as a JSONL record
+	// and audited online against MIFO's loop/valley invariants. The log is
+	// what mifo-trace consumes. finishFlight runs after the experiment
+	// loop, before any exit, so the log is always flushed.
+	finishFlight := func() bool { return true }
+	if *fltLog != "" {
+		f, err := os.Create(*fltLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mifo-sim:", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		rec := audit.NewRecorder(audit.Options{Sample: *fltRate, Writer: w, Registry: reg})
+		o.Recorder = rec
+		finishFlight = func() bool {
+			rec.Close()
+			if err := w.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: flight log:", err)
+			}
+			f.Close()
+			st := rec.Stats()
+			fmt.Printf("# flight log: %d records (%d deflections, %d invariant violations) -> %s\n",
+				st.Records, st.Deflections, st.Violations, *fltLog)
+			if st.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "mifo-sim: AUDIT FAILURE: %d invariant violations recorded\n", st.Violations)
+			}
+			return st.Violations == 0
+		}
+	}
+
 	list := strings.Split(*exp, ",")
 	if *exp == "all" {
 		list = []string{"table1", "fig7", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig8", "fig9", "resilience", "strategy", "overhead"}
@@ -78,8 +113,12 @@ func main() {
 		expDone.With("ok").Inc()
 		fmt.Printf("# [%s done in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
 	}
+	clean := finishFlight()
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mifo-sim: %d/%d experiments failed\n", failed, len(list))
+		os.Exit(1)
+	}
+	if !clean {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,117 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/topo"
+)
+
+// buildLog records a few journeys and returns the JSONL bytes.
+func buildLog(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(Options{Writer: &buf})
+	hook := rec.RouterHook()
+
+	// Three delivered packets to dst 7, one of them deflected.
+	for i := 0; i < 3; i++ {
+		p := &dataplane.Packet{Flow: dataplane.FlowKey{SrcAddr: uint32(i), DstAddr: 7}, ID: uint16(i), Dst: 7}
+		h := forwardHop(0, 1, dataplane.EBGP, topo.Provider, true)
+		h.Deflected = i == 0
+		hook(p, h)
+		hook(p, dataplane.HopInfo{Router: 1, AS: 7, Out: -1, Verdict: dataplane.VerdictDeliver})
+	}
+	// One tag-dropped packet to dst 5.
+	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 5}, Dst: 5}
+	hook(p, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	hook(p, dataplane.HopInfo{
+		Router: 1, AS: 2, Out: -1,
+		Verdict: dataplane.VerdictDrop, Reason: dataplane.DropValleyFree,
+		AltTried: true, AltRel: topo.Peer,
+	})
+	// One flow-path record with a known baseline, so stretch shows up.
+	rec.RecordPath(PathRecord{Flow: 11, Dst: 7, BaselineLen: 2, Steps: []Step{
+		{Router: -1, AS: 1, Edge: EdgeUp, Tag: true},
+		{Router: -1, AS: 2, Edge: EdgeDown, Tag: true, Deflected: true},
+		{Router: -1, AS: 7, Edge: EdgeNone},
+	}})
+	return buf.Bytes()
+}
+
+func TestSummarize(t *testing.T) {
+	log := buildLog(t)
+	s, err := Summarize(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records != 5 || s.PacketRecords != 4 || s.PathRecords != 1 {
+		t.Fatalf("record counts: %+v", s)
+	}
+	if s.Verdicts[VerdictDelivered] != 3 || s.Verdicts[VerdictDropped] != 1 || s.Verdicts[VerdictPath] != 1 {
+		t.Fatalf("verdicts = %v", s.Verdicts)
+	}
+	if s.DropReasons["valley-free"] != 1 {
+		t.Fatalf("drop reasons = %v", s.DropReasons)
+	}
+	if s.DeflectedRecords != 2 || s.TotalDeflections != 2 {
+		t.Fatalf("deflections: %d records / %d total", s.DeflectedRecords, s.TotalDeflections)
+	}
+	if s.TotalViolations != 0 {
+		t.Fatalf("violations = %v", s.Violations)
+	}
+	if s.Stretch[1] != 1 || s.StretchN != 1 {
+		t.Fatalf("stretch = %v (n=%d), want one +1 sample", s.Stretch, s.StretchN)
+	}
+
+	tops := s.TopPrefixes(10)
+	if len(tops) != 2 || tops[0].Dst != 7 || tops[0].Records != 4 {
+		t.Fatalf("top prefixes = %+v", tops)
+	}
+	if r := tops[0].DeflectionRate(); r != 0.5 {
+		t.Fatalf("deflection rate for dst 7 = %v, want 0.5", r)
+	}
+
+	var out bytes.Buffer
+	s.Format(&out, 5)
+	report := out.String()
+	for _, want := range []string{"5 records", "valley-free", "invariant violations: 0", "top 5 prefixes"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestFormatRecordDrillDown(t *testing.T) {
+	log := buildLog(t)
+	var target *Record
+	if err := ReadRecords(bytes.NewReader(log), func(r Record) error {
+		if r.Verdict == VerdictDropped {
+			rc := r
+			target = &rc
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if target == nil {
+		t.Fatal("no dropped record in log")
+	}
+	var out bytes.Buffer
+	FormatRecord(&out, *target)
+	text := out.String()
+	for _, want := range []string{"verdict=dropped", "valley-free", "refused=across", "AS1/r0", "tag=T"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("drill-down missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestReadRecordsRejectsGarbage(t *testing.T) {
+	err := ReadRecords(strings.NewReader("{\"seq\":1}\nnot json\n"), func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+}

@@ -1,0 +1,85 @@
+package audit
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/topo"
+)
+
+// benchNet is a two-router line: AS 1 forwards every packet to AS 2,
+// which owns prefix 2 — a complete begin-to-deliver journey per Send.
+func benchNet(b *testing.B) (*dataplane.Network, *dataplane.Router) {
+	b.Helper()
+	n := dataplane.NewNetwork()
+	a := n.AddRouter(1)
+	d := n.AddRouter(2)
+	p, _ := n.Connect(a.ID, d.ID, dataplane.EBGP, topo.Customer, 1e9)
+	a.FIB.Set(2, dataplane.FIBEntry{Out: p, Alt: -1, AltVia: -1})
+	d.Local[2] = true
+	return n, a
+}
+
+func runSend(b *testing.B, n *dataplane.Network, a *dataplane.Router) {
+	p := &dataplane.Packet{Flow: dataplane.FlowKey{SrcAddr: 1, DstAddr: 2, Proto: 6}, Dst: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ID = uint16(i)
+		p.TTL = 8
+		p.Tag = false
+		p.Encap = false
+		n.Send(p, a.ID)
+	}
+}
+
+// BenchmarkJourneyRecorderDisabled is the baseline: no hook attached, the
+// wrapper costs one nil check per forwarding decision.
+func BenchmarkJourneyRecorderDisabled(b *testing.B) {
+	n, a := benchNet(b)
+	runSend(b, n, a)
+}
+
+// BenchmarkJourneyRecorderUnsampledFlow: hook attached but the flow falls
+// outside the sampling rate — the per-hop cost is one flow hash and a
+// compare.
+func BenchmarkJourneyRecorderUnsampledFlow(b *testing.B) {
+	n, a := benchNet(b)
+	rec := NewRecorder(Options{Sample: 1e-9})
+	hook := rec.RouterHook()
+	for _, r := range n.Routers {
+		r.Hop = hook
+	}
+	runSend(b, n, a)
+	if rec.Stats().Records != 0 {
+		b.Fatal("flow was sampled; benchmark measures the wrong path")
+	}
+}
+
+// BenchmarkJourneyRecorderFullSampling: every journey recorded, checked
+// online, and encoded to a discarded JSONL sink — the full-cost ceiling.
+func BenchmarkJourneyRecorderFullSampling(b *testing.B) {
+	n, a := benchNet(b)
+	rec := NewRecorder(Options{Writer: io.Discard})
+	hook := rec.RouterHook()
+	for _, r := range n.Routers {
+		r.Hop = hook
+	}
+	runSend(b, n, a)
+	if st := rec.Stats(); st.Violations != 0 {
+		b.Fatalf("benchmark journeys violated invariants: %+v", st)
+	}
+}
+
+// BenchmarkJourneyRecorderNoSink: full sampling without a JSONL writer —
+// what a live run pays to keep only counters and violation retention.
+func BenchmarkJourneyRecorderNoSink(b *testing.B) {
+	n, a := benchNet(b)
+	rec := NewRecorder(Options{})
+	hook := rec.RouterHook()
+	for _, r := range n.Routers {
+		r.Hop = hook
+	}
+	runSend(b, n, a)
+}

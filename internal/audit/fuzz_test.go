@@ -1,0 +1,52 @@
+package audit
+
+import "testing"
+
+// FuzzChecker feeds arbitrary hop sequences to the online checker. The
+// checker runs inside forwarding hot paths, so the property under test is
+// simply that no input — however malformed — makes it panic, and that its
+// bookkeeping stays coherent (violation step indices in range, Reset
+// restores a clean state).
+func FuzzChecker(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02})
+	// A plausible up-across-down journey: each hop is 3 bytes
+	// (AS, edge, flags).
+	f.Add([]byte{1, 1, 0x01, 2, 2, 0x01, 3, 3, 0x00, 4, 0, 0x00})
+	// Hostile bytes: out-of-range edges, every flag set, AS revisits.
+	f.Add([]byte{9, 200, 0xff, 9, 7, 0xff, 9, 200, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Checker
+		steps := 0
+		for i := 0; i+3 <= len(data); i += 3 {
+			s := Step{
+				Router:       int32(i/3) - 1,
+				AS:           int32(data[i]),
+				Edge:         EdgeClass(data[i+1]), // may be far out of range
+				Tag:          data[i+2]&0x01 != 0,
+				Encap:        data[i+2]&0x02 != 0,
+				EncapArrival: data[i+2]&0x04 != 0,
+				Deflected:    data[i+2]&0x08 != 0,
+				Refused:      EdgeClass(data[i+2] >> 4),
+			}
+			n := c.Step(s)
+			if n < 0 {
+				t.Fatalf("Step returned negative violation count %d", n)
+			}
+			steps++
+		}
+		for _, v := range c.Violations() {
+			if v.Step < 0 || v.Step >= steps {
+				t.Fatalf("violation step %d out of range [0,%d)", v.Step, steps)
+			}
+		}
+		c.Reset()
+		if len(c.Violations()) != 0 {
+			t.Fatal("violations survived Reset")
+		}
+		if n := c.Step(Step{AS: 1, Edge: EdgeUp, Tag: true}); n != 0 {
+			t.Fatalf("reset checker flagged a clean first hop: %d violations", n)
+		}
+	})
+}

@@ -1,0 +1,379 @@
+package audit
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/dataplane"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// Options configure a Recorder. The zero value records every flow, keeps
+// no JSONL output, and exports no metrics.
+type Options struct {
+	// Sample is the fraction of flows recorded, selected by a stable hash
+	// of the flow identity so every packet of a chosen flow is captured.
+	// Values <= 0 or >= 1 record everything.
+	Sample float64
+	// Writer, when non-nil, receives one JSON record per finished journey
+	// (JSONL). The recorder serializes writes; buffering and closing are
+	// the caller's job.
+	Writer io.Writer
+	// Registry, when non-nil, exports audit_records_total,
+	// audit_steps_total, audit_deflections_total and
+	// audit_violations_total{invariant}.
+	Registry *obs.Registry
+	// Trace, when non-nil and enabled, receives an EvCustom event per
+	// violation, so live debug endpoints surface breaches immediately.
+	Trace *obs.Trace
+	// KeepViolating bounds how many violating records are retained in
+	// memory for inspection (default 16, negative keeps none).
+	KeepViolating int
+}
+
+// Stats is a snapshot of a recorder's counters.
+type Stats struct {
+	// Records counts finalized journeys; Steps counts recorded hops.
+	Records uint64
+	Steps   uint64
+	// Deflections counts deflected steps — at packet granularity one per
+	// alternative-path forwarding decision, at flow granularity one per
+	// deflection-installed path.
+	Deflections uint64
+	// Delivered/Dropped/Lost/Paths break Records down by verdict.
+	Delivered, Dropped, Lost, Paths uint64
+	// Violations is the total breach count; ByInvariant splits it.
+	Violations  uint64
+	ByInvariant [numInvariants]uint64
+}
+
+// pktKey stitches hook callbacks into per-packet journeys.
+type pktKey struct {
+	flow dataplane.FlowKey
+	dst  int32
+	id   uint16
+}
+
+// journey is one in-flight record plus its online checker.
+type journey struct {
+	rec Record
+	chk Checker
+}
+
+// Recorder is the packet flight recorder: it accumulates journeys from
+// dataplane hop hooks (packet granularity) and from netsim path installs
+// (flow granularity), checks invariants online, and streams finished
+// records as JSONL. All methods are safe for concurrent use.
+type Recorder struct {
+	sampleLimit uint32
+
+	mu       sync.Mutex
+	enc      *json.Encoder
+	inflight map[pktKey]*journey
+	free     []*journey // recycled journeys
+	seq      uint64
+	stats    Stats
+	keep     int
+	bad      []Record
+
+	recTotal, stepTotal, deflTotal *obs.Counter
+	violVec                        *obs.CounterVec
+	trace                          *obs.Trace
+}
+
+// NewRecorder builds a recorder from options.
+func NewRecorder(o Options) *Recorder {
+	rec := &Recorder{
+		sampleLimit: ^uint32(0),
+		inflight:    make(map[pktKey]*journey),
+		keep:        o.KeepViolating,
+		trace:       o.Trace,
+	}
+	if o.Sample > 0 && o.Sample < 1 {
+		rec.sampleLimit = uint32(o.Sample * float64(^uint32(0)))
+	}
+	if o.Writer != nil {
+		rec.enc = json.NewEncoder(o.Writer)
+	}
+	if rec.keep == 0 {
+		rec.keep = 16
+	}
+	if o.Registry != nil {
+		rec.recTotal = o.Registry.Counter("audit_records_total", "flight records finalized")
+		rec.stepTotal = o.Registry.Counter("audit_steps_total", "hops recorded across all journeys")
+		rec.deflTotal = o.Registry.Counter("audit_deflections_total", "deflected steps recorded")
+		rec.violVec = o.Registry.CounterVec("audit_violations_total", "invariant violations found by the online auditor", "invariant")
+	}
+	return rec
+}
+
+// Sampled reports whether the flow with the given 32-bit identity hash is
+// recorded under the sampling knob.
+func (rec *Recorder) Sampled(flowHash uint32) bool { return flowHash <= rec.sampleLimit }
+
+// mix64 spreads a flow ID over 32 bits (splitmix64 finalizer) so integer
+// flow IDs sample uniformly.
+func mix64(x uint64) uint32 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x >> 32)
+}
+
+// RouterHook returns the hop hook to install as dataplane.Router.Hop on
+// every instrumented router. Hops of unsampled flows cost one hash and a
+// compare.
+func (rec *Recorder) RouterHook() dataplane.HopFunc {
+	return func(p *dataplane.Packet, h dataplane.HopInfo) {
+		if !rec.Sampled(p.Flow.Hash()) {
+			return
+		}
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		k := pktKey{flow: p.Flow, dst: p.Dst, id: p.ID}
+		j, ok := rec.inflight[k]
+		if !ok {
+			j = rec.begin(KindPacket, uint64(p.Flow.Hash()), p.Dst, 0)
+			j.rec.PktID = p.ID
+			rec.inflight[k] = j
+		}
+		rec.appendStep(j, stepFromHop(h))
+		switch h.Verdict {
+		case dataplane.VerdictDeliver:
+			delete(rec.inflight, k)
+			rec.finish(j, VerdictDelivered, "")
+		case dataplane.VerdictDrop:
+			delete(rec.inflight, k)
+			rec.finish(j, VerdictDropped, h.Reason.String())
+		}
+	}
+}
+
+// Lost finalizes an in-flight packet journey that will never see another
+// hop — a tx-queue drop, or a transport giving up. It is a no-op for
+// unsampled or unknown packets.
+func (rec *Recorder) Lost(p *dataplane.Packet, detail string) {
+	if !rec.Sampled(p.Flow.Hash()) {
+		return
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	k := pktKey{flow: p.Flow, dst: p.Dst, id: p.ID}
+	if j, ok := rec.inflight[k]; ok {
+		delete(rec.inflight, k)
+		rec.finish(j, VerdictLost, detail)
+	}
+}
+
+// PathRecord is a flow-granularity journey: one path installed for one
+// flow by the flow-level simulator.
+type PathRecord struct {
+	// Flow is the flow's ID; Dst its destination AS/prefix.
+	Flow uint64
+	Dst  int32
+	// BaselineLen is the flow's default BGP path length in AS hops.
+	BaselineLen int
+	// Steps is the installed path, one step per AS (Router -1).
+	Steps []Step
+}
+
+// RecordPath records one installed path, running the invariant checker
+// over it. Sampling applies per flow.
+func (rec *Recorder) RecordPath(pr PathRecord) {
+	if !rec.Sampled(mix64(pr.Flow)) {
+		return
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	j := rec.begin(KindPath, pr.Flow, pr.Dst, pr.BaselineLen)
+	for _, s := range pr.Steps {
+		rec.appendStep(j, s)
+	}
+	rec.finish(j, VerdictPath, "")
+}
+
+// PathSteps converts an AS-level path into checker steps against the
+// given topology: edge classes from the business relationships, tag bits
+// from the entry rule (set at the origin and wherever the path enters
+// from a customer). deflectedAt marks the index of the AS that installed
+// this path by deflection (-1 for none).
+func PathSteps(g *topo.Graph, path []int, deflectedAt int) []Step {
+	steps := make([]Step, len(path))
+	for i, as := range path {
+		s := Step{Router: -1, AS: int32(as), Edge: EdgeNone}
+		s.Tag = i == 0 || g.IsCustomer(as, path[i-1])
+		if i+1 < len(path) {
+			if rel, ok := g.Rel(as, path[i+1]); ok {
+				s.Edge = ClassOf(rel)
+			}
+		}
+		s.Deflected = i == deflectedAt
+		steps[i] = s
+	}
+	return steps
+}
+
+// ClassOf maps a Gao-Rexford relationship to the edge class of an egress
+// towards that neighbor.
+func ClassOf(rel topo.Rel) EdgeClass {
+	switch rel {
+	case topo.Customer:
+		return EdgeDown
+	case topo.Peer:
+		return EdgeAcross
+	case topo.Provider:
+		return EdgeUp
+	default:
+		return EdgeNone
+	}
+}
+
+// stepFromHop translates the dataplane's view of a decision into a step.
+func stepFromHop(h dataplane.HopInfo) Step {
+	s := Step{
+		Router:       int32(h.Router),
+		AS:           h.AS,
+		Tag:          h.Tag,
+		Encap:        h.LeftEncap,
+		EncapArrival: h.ArrivedEncap,
+		Deflected:    h.Deflected,
+	}
+	if h.Verdict == dataplane.VerdictForward {
+		switch h.OutKind {
+		case dataplane.IBGP:
+			s.Edge = EdgeInternal
+		case dataplane.EBGP:
+			s.Edge = ClassOf(h.OutRel)
+		}
+	}
+	if h.Reason == dataplane.DropValleyFree && h.AltTried {
+		s.Refused = ClassOf(h.AltRel)
+	}
+	return s
+}
+
+// begin starts a journey (callers hold mu).
+func (rec *Recorder) begin(kind string, flow uint64, dst int32, baseline int) *journey {
+	var j *journey
+	if n := len(rec.free); n > 0 {
+		j = rec.free[n-1]
+		rec.free = rec.free[:n-1]
+	} else {
+		j = &journey{}
+	}
+	rec.seq++
+	j.rec = Record{
+		Seq: rec.seq, Kind: kind, Flow: flow, Dst: dst,
+		BaselineLen: baseline, Steps: j.rec.Steps[:0],
+	}
+	j.chk.Reset()
+	return j
+}
+
+// appendStep records a hop and checks it online (callers hold mu).
+func (rec *Recorder) appendStep(j *journey, s Step) {
+	j.rec.Steps = append(j.rec.Steps, s)
+	rec.stats.Steps++
+	if rec.stepTotal != nil {
+		rec.stepTotal.Inc()
+	}
+	if s.Deflected {
+		j.rec.Deflections++
+		rec.stats.Deflections++
+		if rec.deflTotal != nil {
+			rec.deflTotal.Inc()
+		}
+	}
+	if n := j.chk.Step(s); n > 0 {
+		vs := j.chk.Violations()
+		for _, v := range vs[len(vs)-n:] {
+			rec.noteViolation(j, v)
+		}
+	}
+}
+
+// noteViolation publishes one breach to stats, metrics and trace.
+func (rec *Recorder) noteViolation(j *journey, v Violation) {
+	rec.stats.Violations++
+	rec.stats.ByInvariant[v.Invariant]++
+	if rec.violVec != nil {
+		rec.violVec.With(v.Invariant.String()).Inc()
+	}
+	if rec.trace.Enabled() {
+		node := int32(-1)
+		if v.Step < len(j.rec.Steps) {
+			node = j.rec.Steps[v.Step].AS
+		}
+		rec.trace.Emit(obs.Event{
+			Type: obs.EvCustom, Node: node, A: int64(j.rec.Dst), B: int64(v.Step),
+			Note: "audit: " + v.Invariant.String() + ": " + v.Detail,
+		})
+	}
+}
+
+// finish finalizes a journey: copies violations into the record, updates
+// stats, writes JSONL, and recycles the journey (callers hold mu).
+func (rec *Recorder) finish(j *journey, verdict, reason string) {
+	j.rec.Verdict = verdict
+	j.rec.Reason = reason
+	if vs := j.chk.Violations(); len(vs) > 0 {
+		j.rec.Violations = append([]Violation(nil), vs...)
+		if rec.keep > 0 && len(rec.bad) < rec.keep {
+			bad := j.rec
+			bad.Steps = append([]Step(nil), j.rec.Steps...)
+			rec.bad = append(rec.bad, bad)
+		}
+	} else {
+		j.rec.Violations = nil
+	}
+	rec.stats.Records++
+	switch verdict {
+	case VerdictDelivered:
+		rec.stats.Delivered++
+	case VerdictDropped:
+		rec.stats.Dropped++
+	case VerdictLost:
+		rec.stats.Lost++
+	case VerdictPath:
+		rec.stats.Paths++
+	}
+	if rec.recTotal != nil {
+		rec.recTotal.Inc()
+	}
+	if rec.enc != nil {
+		rec.enc.Encode(&j.rec) // best-effort, like the data plane itself
+	}
+	rec.free = append(rec.free, j)
+}
+
+// Close finalizes every journey still in flight (verdict "lost"). The
+// recorder stays usable afterwards; Close exists so short-lived runs do
+// not leak half-recorded packets.
+func (rec *Recorder) Close() error {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for k, j := range rec.inflight {
+		delete(rec.inflight, k)
+		rec.finish(j, VerdictLost, "in flight at recorder close")
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the recorder's counters.
+func (rec *Recorder) Stats() Stats {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.stats
+}
+
+// ViolatingRecords returns up to KeepViolating retained records that had
+// violations, for post-mortem inspection without a JSONL sink.
+func (rec *Recorder) ViolatingRecords() []Record {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]Record(nil), rec.bad...)
+}

@@ -1,0 +1,248 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+func forwardHop(router int32, as int32, kind dataplane.PortKind, rel topo.Rel, tag bool) dataplane.HopInfo {
+	return dataplane.HopInfo{
+		Router:  dataplane.RouterID(router),
+		AS:      as,
+		Out:     0,
+		OutKind: kind,
+		OutRel:  rel,
+		Tag:     tag,
+		Verdict: dataplane.VerdictForward,
+	}
+}
+
+func TestRecorderPacketJourney(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	rec := NewRecorder(Options{Writer: &buf, Registry: reg})
+	hook := rec.RouterHook()
+
+	p := &dataplane.Packet{
+		Flow: dataplane.FlowKey{SrcAddr: 1, DstAddr: 2, SrcPort: 3, DstPort: 4, Proto: 6},
+		ID:   7,
+		Dst:  3,
+	}
+	// AS 1 exports up, AS 2 deflects onto a peer, AS 3 delivers.
+	p.Tag = true
+	hook(p, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	h := forwardHop(1, 2, dataplane.EBGP, topo.Peer, true)
+	h.Deflected = true
+	hook(p, h)
+	hook(p, dataplane.HopInfo{Router: 2, AS: 3, Out: -1, Verdict: dataplane.VerdictDeliver})
+
+	st := rec.Stats()
+	if st.Records != 1 || st.Delivered != 1 || st.Steps != 3 || st.Deflections != 1 {
+		t.Fatalf("stats = %+v, want 1 delivered record, 3 steps, 1 deflection", st)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("clean journey produced violations: %+v", st)
+	}
+	if got := reg.Snapshot()["audit_records_total"]; got != int64(1) {
+		t.Fatalf("audit_records_total = %v, want 1", got)
+	}
+	if got := reg.Snapshot()["audit_deflections_total"]; got != int64(1) {
+		t.Fatalf("audit_deflections_total = %v, want 1", got)
+	}
+
+	// The JSONL stream must round-trip through the reader.
+	var recs []Record
+	if err := ReadRecords(&buf, func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("read %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Kind != KindPacket || r.Verdict != VerdictDelivered || r.PktID != 7 || r.Dst != 3 {
+		t.Fatalf("record = %+v", r)
+	}
+	if len(r.Steps) != 3 || !r.Steps[1].Deflected || r.Deflections != 1 {
+		t.Fatalf("steps = %+v", r.Steps)
+	}
+	if r.ASPathLen() != 3 {
+		t.Fatalf("ASPathLen = %d, want 3", r.ASPathLen())
+	}
+}
+
+func TestRecorderDetectsLoopAndCountsPerInvariant(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := NewRecorder(Options{Registry: reg})
+	hook := rec.RouterHook()
+
+	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 9}, Dst: 9}
+	hook(p, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	hook(p, forwardHop(1, 2, dataplane.EBGP, topo.Customer, true))
+	hook(p, forwardHop(2, 1, dataplane.EBGP, topo.Customer, false)) // back to AS 1
+	hook(p, dataplane.HopInfo{Router: 3, AS: 4, Out: -1, Verdict: dataplane.VerdictDeliver})
+
+	st := rec.Stats()
+	if st.ByInvariant[InvLoopFree] != 1 {
+		t.Fatalf("loop not counted: %+v", st)
+	}
+	bad := rec.ViolatingRecords()
+	if len(bad) != 1 || len(bad[0].Violations) == 0 {
+		t.Fatalf("violating record not retained: %+v", bad)
+	}
+	if got := reg.Snapshot()[`audit_violations_total{invariant="loop-free"}`]; got != int64(1) {
+		t.Fatalf("violation counter = %v, want 1 (snapshot %v)", got, reg.Snapshot())
+	}
+}
+
+func TestRecorderTagDropJourney(t *testing.T) {
+	rec := NewRecorder(Options{})
+	hook := rec.RouterHook()
+
+	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 5}, Dst: 5}
+	hook(p, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	// AS 2 entered from a provider (tag clear) and refuses a peer egress:
+	// a justified tag-drop.
+	hook(p, dataplane.HopInfo{
+		Router: 1, AS: 2, Out: -1,
+		Verdict: dataplane.VerdictDrop, Reason: dataplane.DropValleyFree,
+		AltTried: true, AltRel: topo.Peer,
+	})
+
+	st := rec.Stats()
+	if st.Records != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want one dropped record", st)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("justified tag-drop flagged: %+v", rec.ViolatingRecords())
+	}
+}
+
+func TestRecorderLostAndClose(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(Options{Writer: &buf})
+	hook := rec.RouterHook()
+
+	lost := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 1}, ID: 1, Dst: 1}
+	hook(lost, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	rec.Lost(lost, "queue-overflow")
+
+	dangling := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 1}, ID: 2, Dst: 1}
+	hook(dangling, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := rec.Stats()
+	if st.Lost != 2 || st.Records != 2 {
+		t.Fatalf("stats = %+v, want 2 lost records", st)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "queue-overflow") || !strings.Contains(out, "recorder close") {
+		t.Fatalf("loss reasons missing from JSONL:\n%s", out)
+	}
+	// Lost on an unknown packet must be a no-op.
+	rec.Lost(&dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 99}, Dst: 99}, "x")
+	if rec.Stats().Records != 2 {
+		t.Fatal("Lost on unknown packet created a record")
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	rec := NewRecorder(Options{Sample: 0.25})
+	kept := 0
+	const flows = 4096
+	for i := 0; i < flows; i++ {
+		if rec.Sampled(mix64(uint64(i))) {
+			kept++
+		}
+	}
+	frac := float64(kept) / flows
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("sampled %.3f of flows, want ~0.25", frac)
+	}
+
+	// Sampling is per flow: every packet of a kept flow is captured, and
+	// unsampled flows never reach the inflight map.
+	all := NewRecorder(Options{Sample: 1})
+	if !all.Sampled(0) || !all.Sampled(^uint32(0)) {
+		t.Fatal("Sample=1 must record everything")
+	}
+	none := NewRecorder(Options{Sample: 0.0000001})
+	hook := none.RouterHook()
+	for i := 0; i < 64; i++ {
+		p := &dataplane.Packet{Flow: dataplane.FlowKey{SrcAddr: uint32(i), DstAddr: 1}, Dst: 1}
+		hook(p, dataplane.HopInfo{Router: 0, AS: 1, Out: -1, Verdict: dataplane.VerdictDeliver})
+	}
+	if st := none.Stats(); st.Records > 4 {
+		t.Fatalf("tiny sample rate recorded %d of 64 flows", st.Records)
+	}
+}
+
+func TestRecordPathAndPathSteps(t *testing.T) {
+	// 0 <- 1 -> is provider chain: 2 is provider of 1, 1 provider of 0;
+	// peering 2 -- 3; 3 provider of 4.
+	g, err := topo.NewBuilder(5).
+		AddPC(1, 0).AddPC(2, 1).AddPeer(2, 3).AddPC(3, 4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps := PathSteps(g, []int{0, 1, 2, 3, 4}, 2)
+	wantEdge := []EdgeClass{EdgeUp, EdgeUp, EdgeAcross, EdgeDown, EdgeNone}
+	// Tag set at the origin and wherever the path enters from a customer;
+	// AS 3 enters from a peer and AS 4 from a provider, so theirs are clear.
+	wantTag := []bool{true, true, true, false, false}
+	for i, s := range steps {
+		if s.Edge != wantEdge[i] {
+			t.Fatalf("step %d edge = %v, want %v (steps %+v)", i, s.Edge, wantEdge[i], steps)
+		}
+		if s.Tag != wantTag[i] {
+			t.Fatalf("step %d tag = %v, want %v: %+v", i, s.Tag, wantTag[i], s)
+		}
+		if s.Deflected != (i == 2) {
+			t.Fatalf("step %d deflected = %v", i, s.Deflected)
+		}
+	}
+
+	var buf bytes.Buffer
+	rec := NewRecorder(Options{Writer: &buf})
+	rec.RecordPath(PathRecord{Flow: 42, Dst: 4, BaselineLen: 4, Steps: steps})
+	st := rec.Stats()
+	if st.Paths != 1 || st.Deflections != 1 || st.Violations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	var recs []Record
+	if err := ReadRecords(&buf, func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != KindPath || recs[0].Verdict != VerdictPath {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].BaselineLen != 4 || recs[0].ASPathLen() != 5 {
+		t.Fatalf("baseline/len = %d/%d", recs[0].BaselineLen, recs[0].ASPathLen())
+	}
+}
+
+func TestRecorderJourneyRecycling(t *testing.T) {
+	rec := NewRecorder(Options{})
+	hook := rec.RouterHook()
+	for i := 0; i < 100; i++ {
+		p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 1}, ID: uint16(i), Dst: 1}
+		hook(p, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+		hook(p, dataplane.HopInfo{Router: 1, AS: 2, Out: -1, Verdict: dataplane.VerdictDeliver})
+	}
+	st := rec.Stats()
+	if st.Records != 100 || st.Delivered != 100 || st.Steps != 200 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Violations != 0 {
+		t.Fatal("recycled journeys leaked checker state")
+	}
+}

@@ -20,6 +20,42 @@ import (
 // Ialt the comparison could never detect a bounce, since the sender sits on
 // the default path, not the alternative one).
 func (r *Router) Forward(p *Packet, in int) Action {
+	if r.Hop == nil {
+		return r.forward(p, in)
+	}
+	// Flight-recorder path: capture the arrival context, run the engine,
+	// then report the decision. Kept out of line so the common case pays
+	// one nil check.
+	h := r.hopInfo(p, in)
+	act := r.forward(p, in)
+	h.Tag = p.Tag
+	h.LeftEncap = p.Encap
+	h.Deflected = act.Deflected
+	h.Verdict = act.Verdict
+	h.Reason = act.Reason
+	if act.Verdict == VerdictForward {
+		pt := &r.Ports[act.Port]
+		h.Out = act.Port
+		h.OutKind = pt.Kind
+		h.OutRel = pt.Rel
+		h.ToAS = pt.PeerAS
+	}
+	switch {
+	case act.Deflected:
+		h.AltTried = true
+		h.AltRel = h.OutRel
+	case act.Reason == DropValleyFree:
+		// The refused alternative: re-resolve the entry the engine used.
+		if e, ok := r.lookupEntry(p); ok && e.Alt >= 0 && e.Alt < len(r.Ports) {
+			h.AltTried = true
+			h.AltRel = r.Ports[e.Alt].Rel
+		}
+	}
+	r.Hop(p, h)
+	return act
+}
+
+func (r *Router) forward(p *Packet, in int) Action {
 	// Lines 1-3: strip the outer IP header of an encapsulated packet and
 	// remember the sender (an iBGP peer).
 	sender := RouterID(-1)
@@ -41,13 +77,7 @@ func (r *Router) Forward(p *Packet, in int) Action {
 
 	// Line 4: FIB lookup — longest-prefix match on the destination
 	// address when a prefix FIB is installed, dense identifier otherwise.
-	var e FIBEntry
-	var ok bool
-	if r.PrefixFIB != nil {
-		e, ok = r.PrefixFIB.Lookup(p.Flow.DstAddr)
-	} else {
-		e, ok = r.FIB.Lookup(p.Dst)
-	}
+	e, ok := r.lookupEntry(p)
 	if !ok {
 		return r.countDrop(DropNoRoute, p)
 	}

@@ -1,0 +1,181 @@
+package dataplane
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// installHook attaches one capturing hook to every router and returns the
+// captured hop sequence.
+func installHook(n *Network) *[]HopInfo {
+	var hops []HopInfo
+	hook := func(p *Packet, h HopInfo) { hops = append(hops, h) }
+	for _, r := range n.Routers {
+		r.Hop = hook
+	}
+	return &hops
+}
+
+func TestHopHookSeesCleanJourney(t *testing.T) {
+	n, r, _ := fig2aNet(t)
+	hops := installHook(n)
+	p := &Packet{Flow: FlowKey{SrcAddr: 9, DstAddr: 0}, Dst: 0}
+	res := n.Send(p, r[3].ID)
+	if res.Verdict != VerdictDeliver {
+		t.Fatalf("send: %+v", res)
+	}
+	got := *hops
+	if len(got) != 2 {
+		t.Fatalf("hook saw %d hops, want 2: %+v", len(got), got)
+	}
+	h0 := got[0]
+	if h0.Router != r[3].ID || h0.AS != 3 || h0.InKind != Host || h0.Verdict != VerdictForward {
+		t.Fatalf("first hop = %+v", h0)
+	}
+	if h0.OutKind != EBGP || h0.OutRel != topo.Customer || h0.ToAS != 0 {
+		t.Fatalf("first hop egress context = %+v", h0)
+	}
+	if !h0.Tag {
+		t.Fatal("locally originated traffic must carry the entry tag")
+	}
+	h1 := got[1]
+	if h1.AS != 0 || h1.Verdict != VerdictDeliver || h1.Out != -1 {
+		t.Fatalf("delivery hop = %+v", h1)
+	}
+	if h1.InKind != EBGP || h1.InRel != topo.Provider || h1.FromAS != 3 {
+		t.Fatalf("delivery hop arrival context = %+v", h1)
+	}
+}
+
+func TestHopHookSeesDeflectionAndTagDrop(t *testing.T) {
+	n, r, toZero := fig2aNet(t)
+	congestAllDefaults(r, toZero)
+	hops := installHook(n)
+	p := &Packet{Flow: FlowKey{SrcAddr: 1, DstAddr: 0}, Dst: 0}
+	res := n.Send(p, r[1].ID)
+	if res.Verdict != VerdictDrop || res.Reason != DropValleyFree {
+		t.Fatalf("send: %+v", res)
+	}
+	got := *hops
+	if len(got) != 2 {
+		t.Fatalf("hook saw %d hops: %+v", len(got), got)
+	}
+	if !got[0].Deflected || !got[0].AltTried || got[0].AltRel != topo.Peer {
+		t.Fatalf("deflection hop = %+v", got[0])
+	}
+	drop := got[1]
+	if drop.Verdict != VerdictDrop || drop.Reason != DropValleyFree {
+		t.Fatalf("drop hop = %+v", drop)
+	}
+	// The refused alternative context: AS 2's only escape was another
+	// peer, which the clear tag forbids — the auditor's justification.
+	if !drop.AltTried || drop.AltRel != topo.Peer {
+		t.Fatalf("drop hop alternative context = %+v", drop)
+	}
+	if drop.Tag {
+		t.Fatal("packet entered AS 2 from a peer; tag must be clear")
+	}
+}
+
+func TestHopHookSeesEncapHandoff(t *testing.T) {
+	n, r1, r2, _, rz := fig2bNet(t)
+	r1.SetQueueRatio(0, 1.0)
+	hops := installHook(n)
+	p := &Packet{Flow: FlowKey{SrcAddr: 7, DstAddr: 0}, Dst: 0}
+	res := n.Send(p, r1.ID)
+	if res.Verdict != VerdictDeliver || res.At != rz.ID {
+		t.Fatalf("send: %+v", res)
+	}
+	got := *hops
+	if len(got) != 3 {
+		t.Fatalf("hook saw %d hops: %+v", len(got), got)
+	}
+	// R1 encapsulates towards its iBGP peer.
+	if !got[0].LeftEncap || got[0].OutKind != IBGP || !got[0].Deflected {
+		t.Fatalf("encap hop = %+v", got[0])
+	}
+	if got[0].ArrivedEncap {
+		t.Fatalf("packet arrived at R1 unencapsulated: %+v", got[0])
+	}
+	// R2 receives it encapsulated over iBGP and decapsulates to exit.
+	if !got[1].ArrivedEncap || got[1].Router != r2.ID || got[1].InKind != IBGP {
+		t.Fatalf("decap hop = %+v", got[1])
+	}
+	if got[1].LeftEncap {
+		t.Fatalf("packet left R2 still encapsulated: %+v", got[1])
+	}
+}
+
+func TestHopHookSeesTTLExpiry(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddRouter(1)
+	b := n.AddRouter(2)
+	pa, pb := n.Connect(a.ID, b.ID, EBGP, topo.Customer, 1e9)
+	a.FIB.Set(7, FIBEntry{Out: pa, Alt: -1, AltVia: -1})
+	b.FIB.Set(7, FIBEntry{Out: pb, Alt: -1, AltVia: -1})
+	hops := installHook(n)
+	res := n.Send(&Packet{Dst: 7, TTL: 6}, a.ID)
+	if res.Reason != DropTTL {
+		t.Fatalf("send: %+v", res)
+	}
+	got := *hops
+	if len(got) == 0 {
+		t.Fatal("hook saw nothing")
+	}
+	last := got[len(got)-1]
+	if last.Verdict != VerdictDrop || last.Reason != DropTTL {
+		t.Fatalf("last hop = %+v, want the TTL expiry", last)
+	}
+	if int32(last.Router) != int32(res.At) {
+		t.Fatalf("TTL drop observed at router %d, result says %d", last.Router, res.At)
+	}
+}
+
+func TestNilHookCostsNothingBehaviorally(t *testing.T) {
+	// Same scenario with and without a hook must produce identical results.
+	run := func(withHook bool) Result {
+		n, r, toZero := fig2aNet(t)
+		congestAllDefaults(r, toZero)
+		if withHook {
+			installHook(n)
+		}
+		return n.Send(&Packet{Flow: FlowKey{SrcAddr: 1, DstAddr: 0}, Dst: 0}, r[1].ID)
+	}
+	plain, hooked := run(false), run(true)
+	if plain.Verdict != hooked.Verdict || plain.Reason != hooked.Reason ||
+		plain.At != hooked.At || plain.Deflections != hooked.Deflections {
+		t.Fatalf("hook changed the outcome: %+v vs %+v", plain, hooked)
+	}
+}
+
+// The flight-recorder overhead contract: a nil hook costs one branch.
+func BenchmarkForwardDefaultPathNilHook(b *testing.B) {
+	r := NewRouter(0, 1)
+	out := r.AddPort(Port{Kind: EBGP, Peer: 1, PeerAS: 2, Rel: topo.Customer, CapacityBps: 1e9})
+	r.FIB.Set(7, FIBEntry{Out: out, Alt: -1, AltVia: -1})
+	p := &Packet{Dst: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.TTL = 8
+		p.Tag = false
+		r.Forward(p, -1)
+	}
+}
+
+// An attached no-op hook pays for HopInfo construction — the recorder-side
+// sampling decision happens inside the hook, so this is the ceiling any
+// always-on hook pays per forwarding decision.
+func BenchmarkForwardDefaultPathNoopHook(b *testing.B) {
+	r := NewRouter(0, 1)
+	out := r.AddPort(Port{Kind: EBGP, Peer: 1, PeerAS: 2, Rel: topo.Customer, CapacityBps: 1e9})
+	r.FIB.Set(7, FIBEntry{Out: out, Alt: -1, AltVia: -1})
+	r.Hop = func(p *Packet, h HopInfo) {}
+	p := &Packet{Dst: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.TTL = 8
+		p.Tag = false
+		r.Forward(p, -1)
+	}
+}

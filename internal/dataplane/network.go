@@ -101,7 +101,7 @@ func (n *Network) Send(p *Packet, origin RouterID) Result {
 	in := -1
 	for {
 		if p.TTL == 0 {
-			n.Routers[cur].countDrop(DropTTL, p)
+			n.Routers[cur].DropExpired(p, in)
 			res.Verdict = VerdictDrop
 			res.Reason = DropTTL
 			res.At = cur

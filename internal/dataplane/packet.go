@@ -51,6 +51,11 @@ type RouterID int32
 type Packet struct {
 	// Flow is the five-tuple; hashing it pins the packet's flow to one path.
 	Flow FlowKey
+	// ID distinguishes packets of the same flow, so a flight recorder can
+	// stitch hops observed at different routers into one journey. It rides
+	// in the IPv4 Identification field on the wire (see MarshalPacket) and
+	// is otherwise ignored by the forwarding engine.
+	ID uint16
 	// Dst is the destination prefix identifier looked up in the FIB
 	// (an AS identifier at the granularity this repository simulates).
 	Dst int32

@@ -198,6 +198,10 @@ type Router struct {
 	// forwarding-decision audit stream. A nil trace costs one pointer
 	// check on the affected branches and nothing on the default path.
 	Trace *obs.Trace
+	// Hop, when non-nil, is called once per Forward with the full decision
+	// context — the flight-recorder hook (see internal/audit). A nil hook
+	// costs a single pointer check on the hot path.
+	Hop HopFunc
 
 	// drops counts discarded packets by DropReason; deflections counts
 	// packets sent to the alternative path. Exposed via Drops and
@@ -266,6 +270,85 @@ func (r *Router) Drops(reason DropReason) int64 {
 // Deflections returns how many packets this router sent to an alternative
 // path (directly or via iBGP encapsulation).
 func (r *Router) Deflections() int64 { return r.deflections.Load() }
+
+// HopInfo is the flight recorder's view of one forwarding decision: the
+// packet's arrival context, the tag/encap state it left with, and the
+// verdict. Router.Hop receives one per Forward call.
+type HopInfo struct {
+	// Router and AS identify the deciding router.
+	Router RouterID
+	AS     int32
+	// In is the arrival port (-1 for locally originated traffic); InKind,
+	// InRel and FromAS describe it (InKind is Host when In < 0, InRel is
+	// meaningful for eBGP in-ports only).
+	In     int
+	InKind PortKind
+	InRel  topo.Rel
+	FromAS int32
+	// Out describes the egress when Verdict == VerdictForward (Out is -1
+	// otherwise); OutRel is meaningful for eBGP out-ports only.
+	Out     int
+	OutKind PortKind
+	OutRel  topo.Rel
+	ToAS    int32
+	// Tag is the valley-free bit after entry stamping; ArrivedEncap and
+	// LeftEncap are the IP-in-IP state on arrival and departure.
+	Tag          bool
+	ArrivedEncap bool
+	LeftEncap    bool
+	// Deflected reports the packet took an alternative path at this hop.
+	Deflected bool
+	Verdict   Verdict
+	Reason    DropReason
+	// AltTried is set when an alternative egress was taken or refused;
+	// AltRel is that egress' relationship class (the tag-check input).
+	AltTried bool
+	AltRel   topo.Rel
+}
+
+// HopFunc observes forwarding decisions. The packet pointer is only valid
+// for the duration of the call.
+type HopFunc func(p *Packet, h HopInfo)
+
+// lookupEntry resolves the packet's FIB entry the way Forward does:
+// longest-prefix match when a prefix FIB is installed, dense id otherwise.
+func (r *Router) lookupEntry(p *Packet) (FIBEntry, bool) {
+	if r.PrefixFIB != nil {
+		return r.PrefixFIB.Lookup(p.Flow.DstAddr)
+	}
+	return r.FIB.Lookup(p.Dst)
+}
+
+// DropExpired records a TTL-exhausted packet: transports that manage TTL
+// outside Forward (Network.Send, netd, packetsim) route the drop through
+// here so counters, trace and the flight-recorder hook all see it.
+func (r *Router) DropExpired(p *Packet, in int) Action {
+	act := r.countDrop(DropTTL, p)
+	if r.Hop != nil {
+		h := r.hopInfo(p, in)
+		h.Tag = p.Tag
+		h.LeftEncap = p.Encap
+		h.Verdict = VerdictDrop
+		h.Reason = DropTTL
+		r.Hop(p, h)
+	}
+	return act
+}
+
+// hopInfo seeds a HopInfo with the arrival-side context.
+func (r *Router) hopInfo(p *Packet, in int) HopInfo {
+	h := HopInfo{
+		Router: r.ID, AS: r.AS, In: in, InKind: Host, FromAS: r.AS,
+		Out: -1, ArrivedEncap: p.Encap,
+	}
+	if in >= 0 && in < len(r.Ports) {
+		pt := &r.Ports[in]
+		h.InKind = pt.Kind
+		h.InRel = pt.Rel
+		h.FromAS = pt.PeerAS
+	}
+	return h
+}
 
 // countDrop records a drop and traces it, then builds the drop action. It
 // is the single bookkeeping point for every discard the engine decides.

@@ -60,6 +60,7 @@ func MarshalPacket(p *Packet) []byte {
 		dstAddr:  dstAddr,
 		protocol: p.Flow.Proto,
 		ttl:      uint8(clampTTL(p.TTL)),
+		ident:    p.ID,
 		tag:      p.Tag,
 		payload:  marshalPorts(p.Flow.SrcPort, p.Flow.DstPort),
 	})
@@ -71,6 +72,7 @@ func MarshalPacket(p *Packet) []byte {
 		dstAddr:  RouterAddr(p.OuterDst),
 		protocol: protoIPinIP,
 		ttl:      defaultWireTTL,
+		ident:    p.ID,
 		payload:  inner,
 	})
 }
@@ -103,6 +105,7 @@ func UnmarshalPacket(b []byte) (*Packet, error) {
 		Proto:   hdr.protocol,
 	}
 	p.Dst = PrefixFromAddr(hdr.dstAddr)
+	p.ID = hdr.ident
 	p.Tag = hdr.tag
 	p.TTL = int(hdr.ttl)
 	return p, nil
@@ -112,7 +115,8 @@ type ipv4Header struct {
 	srcAddr, dstAddr uint32
 	protocol         uint8
 	ttl              uint8
-	tag              bool // the reserved flag bit
+	ident            uint16 // Identification: the flight recorder's packet ID
+	tag              bool   // the reserved flag bit
 	payload          []byte
 }
 
@@ -121,6 +125,7 @@ func marshalIPv4(h ipv4Header) []byte {
 	b := make([]byte, total)
 	b[0] = ipv4Version<<4 | ipv4MinIHL
 	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], h.ident)
 	var flags uint16
 	if h.tag {
 		flags |= 1 << 15 // the reserved bit carries MIFO's tag
@@ -154,6 +159,7 @@ func parseIPv4(b []byte) (ipv4Header, error) {
 	if ipv4Checksum(b[:ihl]) != 0 {
 		return h, fmt.Errorf("dataplane: header checksum mismatch")
 	}
+	h.ident = binary.BigEndian.Uint16(b[4:6])
 	h.tag = binary.BigEndian.Uint16(b[6:8])&(1<<15) != 0
 	h.ttl = b[8]
 	h.protocol = b[9]

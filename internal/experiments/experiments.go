@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/bgp"
 	"repro/internal/metrics"
 	"repro/internal/miro"
@@ -50,6 +51,12 @@ type Options struct {
 	CongestionThreshold float64
 	ReturnThreshold     float64
 	Quality             netsim.Quality
+
+	// Recorder, when non-nil, attaches the packet flight recorder to every
+	// flow-level simulation an experiment runs: each installed path is
+	// recorded as a JSONL flight record and audited online (mifo-sim's
+	// -flight-log / -flight-sample flags).
+	Recorder *audit.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -270,6 +277,7 @@ func comparePolicies(g *topo.Graph, flows []traffic.Flow, deployment float64, o 
 		CongestionThreshold: o.CongestionThreshold,
 		ReturnThreshold:     o.ReturnThreshold,
 		Quality:             o.Quality,
+		Recorder:            o.Recorder,
 	}
 	bgpCfg, miroCfg, mifoCfg := base, base, base
 	bgpCfg.Policy = netsim.PolicyBGP
@@ -320,7 +328,7 @@ func RunFig8(o Options) (*Fig8, error) {
 	for pct := 10; pct <= 100; pct += 10 {
 		mask := DeploymentMask(g.N(), float64(pct)/100, o.Seed+700)
 		res, err := netsim.Run(g, flows, netsim.Config{
-			Policy: netsim.PolicyMIFO, Capable: mask, Workers: o.Workers,
+			Policy: netsim.PolicyMIFO, Capable: mask, Workers: o.Workers, Recorder: o.Recorder,
 		})
 		if err != nil {
 			return nil, err
@@ -355,9 +363,10 @@ func RunFig9(o Options) (*Fig9, error) {
 		return nil, err
 	}
 	res, err := netsim.Run(g, flows, netsim.Config{
-		Policy:  netsim.PolicyMIFO,
-		Capable: DeploymentMask(g.N(), 0.5, o.Seed+900),
-		Workers: o.Workers,
+		Policy:   netsim.PolicyMIFO,
+		Capable:  DeploymentMask(g.N(), 0.5, o.Seed+900),
+		Workers:  o.Workers,
+		Recorder: o.Recorder,
 	})
 	if err != nil {
 		return nil, err

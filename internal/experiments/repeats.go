@@ -73,7 +73,7 @@ func RunRepeated(o Options, deployment float64, repeats int) (*Repeated, error) 
 		mask := DeploymentMask(g.N(), deployment, seed+500)
 		for _, pol := range []netsim.Policy{netsim.PolicyBGP, netsim.PolicyMIRO, netsim.PolicyMIFO} {
 			res, err := netsim.Run(g, flows, netsim.Config{
-				Policy: pol, Capable: mask, Workers: o.Workers,
+				Policy: pol, Capable: mask, Workers: o.Workers, Recorder: o.Recorder,
 			})
 			if err != nil {
 				return nil, err

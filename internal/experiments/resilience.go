@@ -63,6 +63,7 @@ func RunResilience(o Options) (*Resilience, error) {
 			Workers:            o.Workers,
 			Failures:           []netsim.LinkFailure{failure},
 			ReconvergenceDelay: delay,
+			Recorder:           o.Recorder,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: resilience %v: %v", pol, err)

@@ -38,6 +38,7 @@ func RunSensitivity(o Options) (*Sensitivity, error) {
 	run := func(cfg netsim.Config) (SensitivityRow, error) {
 		cfg.Policy = netsim.PolicyMIFO
 		cfg.Workers = o.Workers
+		cfg.Recorder = o.Recorder
 		res, err := netsim.Run(g, flows, cfg)
 		if err != nil {
 			return SensitivityRow{}, err

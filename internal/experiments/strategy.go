@@ -71,7 +71,7 @@ func RunStrategy(o Options) (*Strategy, error) {
 				mask = TopDegreeMask(g, frac)
 			}
 			res, err := netsim.Run(g, flows, netsim.Config{
-				Policy: netsim.PolicyMIFO, Capable: mask, Workers: o.Workers,
+				Policy: netsim.PolicyMIFO, Capable: mask, Workers: o.Workers, Recorder: o.Recorder,
 			})
 			if err != nil {
 				return nil, err

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/dataplane"
 	"repro/internal/obs"
@@ -86,6 +87,13 @@ type Fabric struct {
 	wg         sync.WaitGroup
 	started    bool
 	mu         sync.Mutex
+
+	recorder *audit.Recorder
+	// nextPktID stamps injected packets that carry no ID of their own, so
+	// the flight recorder can stitch each packet's hops — observed at
+	// different nodes — into one journey. The ID rides in the IPv4
+	// Identification field of the marshaled datagram.
+	nextPktID atomic.Uint32
 }
 
 // NewFabric binds one loopback UDP socket per router and cross-wires peer
@@ -187,6 +195,9 @@ func (f *Fabric) Inject(p *dataplane.Packet, origin dataplane.RouterID) {
 	if p.TTL <= 0 {
 		p.TTL = dataplane.DefaultTTL
 	}
+	if p.ID == 0 {
+		p.ID = uint16(f.nextPktID.Add(1))
+	}
 	nd := f.nodes[origin]
 	nd.injected.Inc()
 	f.process(nd, p, -1)
@@ -202,6 +213,22 @@ func (f *Fabric) Registry() *obs.Registry { return f.reg }
 func (f *Fabric) EnableTrace(tr *obs.Trace) {
 	for _, nd := range f.nodes {
 		nd.router.Trace = tr
+	}
+}
+
+// AttachRecorder installs a flight recorder as the hop hook on every
+// router, so each sampled packet's journey across the UDP fabric is
+// recorded and audited (hops are stitched by the packet ID carried in the
+// IPv4 Identification field). Pass nil to detach. Like EnableTrace, call
+// it before Start: the hook field is read unlocked on the receive path.
+func (f *Fabric) AttachRecorder(rec *audit.Recorder) {
+	f.recorder = rec
+	var hook dataplane.HopFunc
+	if rec != nil {
+		hook = rec.RouterHook()
+	}
+	for _, nd := range f.nodes {
+		nd.router.Hop = hook
 	}
 }
 
@@ -272,6 +299,7 @@ func (f *Fabric) serve(nd *node) {
 // process runs the forwarding engine and acts on its verdict.
 func (f *Fabric) process(nd *node, p *dataplane.Packet, in int) {
 	if p.TTL <= 0 {
+		nd.router.DropExpired(p, in)
 		nd.dropTTL.Inc()
 		return
 	}

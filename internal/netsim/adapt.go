@@ -47,6 +47,7 @@ func (s *Sim) adaptFlow(st *flowState, table *bgp.Dest) bool {
 		st.onAlt = false
 		st.trigLink = -1
 		st.switches++
+		s.recordFlowPath(st, -1)
 		return true
 	}
 
@@ -103,6 +104,7 @@ func (s *Sim) adaptFlow(st *flowState, table *bgp.Dest) bool {
 			st.onAlt = true
 			st.usedAlt = true
 			st.switches++
+			s.recordFlowPath(st, i)
 			return true
 		}
 	}

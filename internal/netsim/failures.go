@@ -97,6 +97,7 @@ func (s *Sim) handleReconverge(fi int) {
 	st.reroutes++
 	// The repaired route is the flow's default until topology changes back.
 	st.defPath = newPath
+	s.recordFlowPath(st, -1)
 	s.afterTopologyChange()
 }
 

@@ -1,0 +1,25 @@
+package netsim
+
+import "repro/internal/audit"
+
+// recordFlowPath hands the flow's just-installed path to the flight
+// recorder as one flow-granularity record, with the online invariant
+// checker run over it. deflectedAt is the index (into path) of the AS
+// that installed this path by deflection, or -1 for default-path installs
+// (arrival, return, control-plane repair).
+//
+// MIRO paths are not recorded: MIRO is control-plane negotiated multipath
+// whose tunnels legitimately traverse segments a classic valley-free
+// audit would reject, so the invariants do not apply to it.
+func (s *Sim) recordFlowPath(st *flowState, deflectedAt int) {
+	rec := s.cfg.Recorder
+	if rec == nil || s.cfg.Policy == PolicyMIRO || len(st.path) == 0 {
+		return
+	}
+	rec.RecordPath(audit.PathRecord{
+		Flow:        uint64(st.ID),
+		Dst:         int32(st.Dst),
+		BaselineLen: len(st.defPath),
+		Steps:       audit.PathSteps(s.g, st.path, deflectedAt),
+	})
+}

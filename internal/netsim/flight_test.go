@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/obs"
+	"repro/internal/traffic"
+)
+
+// TestFlightRecorderAuditsMIFORun re-runs the hog-and-returner scenario of
+// TestTraceAuditsDeflectionDecisions with a flight recorder at 100%
+// sampling and checks the acceptance properties: every installed path
+// passes the invariant auditor, and the deflection count reconstructed
+// from the JSONL stream alone matches the trace's EvDeflect events.
+func TestFlightRecorderAuditsMIFORun(t *testing.T) {
+	g := fig2aGraph(t)
+	flows := []traffic.Flow{
+		{ID: 0, Src: 1, Dst: 0, SizeBits: 100 * mb, Arrival: 0},
+		{ID: 1, Src: 1, Dst: 0, SizeBits: 200 * mb, Arrival: 0.05},
+	}
+	var buf bytes.Buffer
+	rec := audit.NewRecorder(audit.Options{Writer: &buf})
+	tr := obs.NewTrace(0)
+	res, err := Run(g, flows, Config{Policy: PolicyMIFO, Trace: tr, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flows[1].UsedAlt {
+		t.Fatal("scenario drifted: flow 1 never deflected")
+	}
+
+	st := rec.Stats()
+	if st.Violations != 0 {
+		t.Fatalf("invariant violations in a correct MIFO run: %+v\nrecords: %+v",
+			st, rec.ViolatingRecords())
+	}
+	deflectEvents := 0
+	for _, e := range tr.Snapshot() {
+		if e.Type == obs.EvDeflect {
+			deflectEvents++
+		}
+	}
+	if deflectEvents == 0 {
+		t.Fatal("scenario drifted: no EvDeflect events")
+	}
+	if int(st.Deflections) != deflectEvents {
+		t.Fatalf("recorder counted %d deflections, trace saw %d", st.Deflections, deflectEvents)
+	}
+
+	// The JSONL stream alone must reproduce the same deflection count and
+	// carry one record per installed path: two arrivals plus one per
+	// switch (deflections and returns).
+	sum, err := audit.Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalDeflections != deflectEvents {
+		t.Fatalf("JSONL reconstructs %d deflections, trace saw %d", sum.TotalDeflections, deflectEvents)
+	}
+	if sum.TotalViolations != 0 {
+		t.Fatalf("JSONL carries violations: %v", sum.Violations)
+	}
+	switches := res.Flows[0].Switches + res.Flows[1].Switches
+	if want := len(flows) + switches; sum.Records != want {
+		t.Fatalf("records = %d, want %d (one per install: %d arrivals + %d switches)",
+			sum.Records, want, len(flows), switches)
+	}
+	if sum.PathRecords != sum.Records {
+		t.Fatalf("netsim must emit flow-path records only: %+v", sum)
+	}
+	// Deflected installs are longer than the two-hop default, so stretch
+	// samples must exist and include a positive bucket.
+	if sum.StretchN != sum.Records {
+		t.Fatalf("every flow-path record has a baseline; stretch n = %d of %d", sum.StretchN, sum.Records)
+	}
+	if sum.Stretch[1] == 0 {
+		t.Fatalf("no +1 stretch sample despite deflections: %v", sum.Stretch)
+	}
+}
+
+// TestFlightRecorderSkipsMIRO: MIRO's negotiated tunnels are exempt from
+// the classic valley-free audit, so a MIRO run must record nothing.
+func TestFlightRecorderSkipsMIRO(t *testing.T) {
+	g := fig2aGraph(t)
+	flows := []traffic.Flow{
+		{ID: 0, Src: 1, Dst: 0, SizeBits: 10 * mb, Arrival: 0},
+	}
+	rec := audit.NewRecorder(audit.Options{})
+	if _, err := Run(g, flows, Config{Policy: PolicyMIRO, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if st := rec.Stats(); st.Records != 0 {
+		t.Fatalf("MIRO run recorded %d flight records, want 0", st.Records)
+	}
+}
+
+// TestFlightRecorderBGPBaseline: a BGP run records exactly one default-path
+// install per routable flow, none deflected.
+func TestFlightRecorderBGPBaseline(t *testing.T) {
+	g := fig2aGraph(t)
+	flows := []traffic.Flow{
+		{ID: 0, Src: 1, Dst: 0, SizeBits: 10 * mb, Arrival: 0},
+		{ID: 1, Src: 2, Dst: 0, SizeBits: 10 * mb, Arrival: 0},
+	}
+	rec := audit.NewRecorder(audit.Options{})
+	if _, err := Run(g, flows, Config{Policy: PolicyBGP, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Stats()
+	if st.Records != 2 || st.Paths != 2 || st.Deflections != 0 || st.Violations != 0 {
+		t.Fatalf("stats = %+v, want 2 clean path records", st)
+	}
+}
+
+// TestFlightRecorderAbsentLeavesRunIdentical: recording must not perturb
+// the simulation.
+func TestFlightRecorderAbsentLeavesRunIdentical(t *testing.T) {
+	g := fig2aGraph(t)
+	flows := []traffic.Flow{
+		{ID: 0, Src: 1, Dst: 0, SizeBits: 100 * mb, Arrival: 0},
+		{ID: 1, Src: 1, Dst: 0, SizeBits: 200 * mb, Arrival: 0.05},
+	}
+	base, err := Run(g, flows, Config{Policy: PolicyMIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := audit.NewRecorder(audit.Options{})
+	recorded, err := Run(g, flows, Config{Policy: PolicyMIFO, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Flows {
+		if base.Flows[i] != recorded.Flows[i] {
+			t.Fatalf("flow %d differs with recorder attached: %+v vs %+v",
+				i, base.Flows[i], recorded.Flows[i])
+		}
+	}
+}

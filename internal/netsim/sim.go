@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/bgp"
 	"repro/internal/eventq"
 	"repro/internal/miro"
@@ -111,6 +112,11 @@ type Config struct {
 	// choice (Section III-C), plus a snapshot event per control epoch.
 	// Event times are virtual simulation time in nanoseconds.
 	Trace *obs.Trace
+	// Recorder, when non-nil, receives one flow-granularity flight record
+	// per installed path (arrival, deflection, return, control-plane
+	// repair), each run through the online invariant auditor. MIRO paths
+	// are not recorded (see recordFlowPath).
+	Recorder *audit.Recorder
 
 	// Failures injects link failures (an extension experiment: MIFO's
 	// data-plane deflection reacts to a dead egress instantly, while BGP
@@ -405,6 +411,7 @@ func (s *Sim) handleArrival(fi int) {
 	st.defPath = table.ASPath(st.Src)
 	st.path = st.defPath
 	st.links = s.pathLinks(st.path)
+	s.recordFlowPath(st, -1) // the default install; adaptFlow records its own
 
 	switch s.cfg.Policy {
 	case PolicyMIRO:

@@ -139,9 +139,12 @@ func (t *Trace) SetEnabled(on bool) {
 }
 
 // Emit records an event, assigning its sequence number. It is a no-op —
-// one atomic load — when the trace is nil or disabled.
+// one atomic load — when the trace is nil or disabled, and also when the
+// ring has zero capacity (a zero-value Trace that was force-enabled):
+// callers are encouraged to check Enabled() first, but Emit must never
+// panic on a trace that cannot store anything.
 func (t *Trace) Emit(e Event) {
-	if t == nil || !t.enabled.Load() {
+	if t == nil || !t.enabled.Load() || cap(t.buf) == 0 {
 		return
 	}
 	t.mu.Lock()

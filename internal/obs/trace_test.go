@@ -89,6 +89,21 @@ func TestTraceDisabledAndNil(t *testing.T) {
 	nilTrace.Reset()
 }
 
+func TestTraceZeroCapacityEmitIsNoop(t *testing.T) {
+	// A zero-value Trace has a zero-capacity ring. Even when force-enabled,
+	// Emit must be a safe no-op (it used to divide by cap(buf) == 0);
+	// defense-in-depth for callers that skip the Enabled() guard.
+	var tr Trace
+	tr.SetEnabled(true)
+	tr.Emit(Event{Type: EvDeflect, A: 1}) // must not panic
+	if tr.Total() != 0 || tr.Len() != 0 {
+		t.Errorf("zero-capacity trace stored events: total=%d len=%d", tr.Total(), tr.Len())
+	}
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Errorf("zero-capacity trace snapshot = %v, want empty", got)
+	}
+}
+
 func TestTraceSinks(t *testing.T) {
 	tr := NewTrace(2)
 	var got []Event

@@ -15,6 +15,7 @@ package packetsim
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/dataplane"
 	"repro/internal/eventq"
 	"repro/internal/metrics"
@@ -43,6 +44,10 @@ type Config struct {
 	// dropped by the forwarding engine itself (no route / valley-free),
 	// since no retransmission strategy can get them through (default 64).
 	MaxConsecutiveHardDrops int
+	// Recorder, when non-nil, is installed as the hop hook on every router
+	// of the network: each sampled packet's full journey is recorded and
+	// audited, and tx-queue drops finalize the journey as lost.
+	Recorder *audit.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +162,12 @@ func New(net *dataplane.Network, cfg Config) *Sim {
 	}
 	s.queues = make([]txQueue, s.portBase[len(net.Routers)])
 	s.series.Name = "aggregate-gbps"
+	if cfg.Recorder != nil {
+		hook := cfg.Recorder.RouterHook()
+		for _, r := range net.Routers {
+			r.Hop = hook
+		}
+	}
 	return s
 }
 
@@ -304,7 +315,11 @@ func (s *Sim) qindex(r dataplane.RouterID, port int) int {
 func (s *Sim) inject(srcIdx, seq int) {
 	src := s.sources[srcIdx]
 	p := &inFlight{
-		pkt:  dataplane.Packet{Flow: src.spec.Key, Dst: src.spec.Dst, TTL: dataplane.DefaultTTL},
+		// The sequence number doubles as the wire-level packet ID the
+		// flight recorder stitches journeys by; AIMD never has two packets
+		// of one flow with the same seq in flight, so the uint16 wrap on
+		// very long transfers cannot collide within a window.
+		pkt:  dataplane.Packet{Flow: src.spec.Key, ID: uint16(seq), Dst: src.spec.Dst, TTL: dataplane.DefaultTTL},
 		seq:  seq,
 		src:  srcIdx,
 		sent: s.now,
@@ -317,6 +332,7 @@ func (s *Sim) inject(srcIdx, seq int) {
 func (s *Sim) arrive(p *inFlight, at dataplane.RouterID, in int) {
 	r := s.net.Router(at)
 	if p.pkt.TTL <= 0 {
+		r.DropExpired(&p.pkt, in)
 		s.hardDrop(p)
 		return
 	}
@@ -349,6 +365,9 @@ func (s *Sim) enqueue(p *inFlight, at dataplane.RouterID, port int) {
 	if len(q.pkts) >= s.cfg.QueuePackets {
 		src := s.sources[p.src]
 		src.queueDrops++
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.Lost(&p.pkt, "queue-overflow")
+		}
 		s.queue.Push(s.now, evLoss, ackRef{src: p.src, seq: p.seq})
 		return
 	}
