@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race audit-race vet bench bench-json fuzz figures testbed results clean
+.PHONY: all build test race audit-race fib-race vet bench bench-json fuzz figures testbed results clean
 
 all: build test
 
@@ -26,6 +26,12 @@ race:
 audit-race:
 	$(GO) test -race -count=2 ./internal/audit ./internal/dataplane ./internal/netsim ./internal/packetsim ./internal/netd
 
+# The versioned-FIB concurrency surface: wait-free lookups racing batched
+# generation commits (map FIB and LPM trie), plus the daemon runtime driving
+# real routers' FIBs while packets forward.
+fib-race:
+	$(GO) test -race -count=2 ./internal/dataplane ./internal/lpm ./internal/core
+
 bench:
 	$(GO) test -run xxx -bench=. -benchmem .
 
@@ -37,6 +43,8 @@ bench:
 bench-json:
 	$(GO) test -run xxx -bench 'Forward|Journey' -benchmem -json ./internal/dataplane ./internal/audit > BENCH_dataplane.json
 	@echo "wrote BENCH_dataplane.json"
+	$(GO) test -run xxx -bench 'FIBLookup|FIBCommit|TableIncremental|TableFullRebuild' -benchmem -json ./internal/dataplane ./internal/bgp > BENCH_routing.json
+	@echo "wrote BENCH_routing.json"
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
@@ -44,6 +52,7 @@ fuzz:
 	$(GO) test ./internal/topo -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/traffic -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/audit -fuzz FuzzChecker -fuzztime 30s
+	$(GO) test ./internal/bgp -fuzz FuzzIncrementalTable -fuzztime 30s
 
 # Regenerate every figure at default scale into results/.
 figures:

@@ -57,6 +57,14 @@ func main() {
 		fmt.Printf("link AS%d -> AS0 congested\n", as)
 	}
 	dep.Refresh()
+	// Each router's FIB is a sequence of immutable generations; the daemon's
+	// install and refresh each published exactly one. Showing the counter
+	// makes the batched-commit behavior visible from the CLI.
+	fmt.Println("\nFIB state after daemon refresh:")
+	for _, r := range dep.Net.Routers {
+		fmt.Printf("  router %d (AS %d): %d entries, generation %d\n",
+			r.ID, r.AS, r.FIB.Len(), r.FIB.Generation())
+	}
 	if *noTagCheck {
 		for _, r := range dep.Net.Routers {
 			r.DisableTagCheck = true

@@ -36,10 +36,19 @@ func (a Alt) Better(b Alt) bool {
 //
 // The result is nil when v is the destination or has no routes.
 func RIB(g *topo.Graph, d *Dest, v int) []Alt {
+	return RIBInto(g, d, v, nil)
+}
+
+// RIBInto is RIB with a caller-provided scratch buffer: the result is
+// built in buf[:0] (growing it if needed) and returned. A daemon that
+// re-mines the RIB for every destination each control epoch reuses one
+// buffer instead of allocating a fresh sorted slice per call (see
+// BenchmarkSelectAlternative).
+func RIBInto(g *topo.Graph, d *Dest, v int, buf []Alt) []Alt {
 	if v == int(d.dst) {
 		return nil
 	}
-	var alts []Alt
+	alts := buf[:0]
 	for _, nb := range g.Neighbors(v) {
 		n := int(nb.AS)
 		nc := d.class[n]

@@ -1,0 +1,316 @@
+package bgp
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/topo"
+)
+
+// TableStats counts the route computation work a Table has performed. The
+// split between full and incremental computes is the quantity the
+// resilience experiment reports: a from-scratch rebuild recomputes every
+// destination on every topology change, while the incremental path only
+// touches destinations whose route tree actually traverses the changed
+// link.
+type TableStats struct {
+	// FullComputes counts per-destination three-phase runs triggered by
+	// table construction or destination addition.
+	FullComputes int64
+	// IncrementalComputes counts per-destination recomputes triggered by
+	// link up/down events (only dirty destinations are re-run).
+	IncrementalComputes int64
+	// CleanSkipped counts destinations a link event left untouched because
+	// the dirty-set derivation proved their tables could not change.
+	CleanSkipped int64
+	// LinkEvents counts LinkDown/LinkUp calls that changed the topology.
+	LinkEvents int64
+}
+
+// Add accumulates o into s.
+func (s *TableStats) Add(o TableStats) {
+	s.FullComputes += o.FullComputes
+	s.IncrementalComputes += o.IncrementalComputes
+	s.CleanSkipped += o.CleanSkipped
+	s.LinkEvents += o.LinkEvents
+}
+
+// Table owns the per-destination routing tables for one topology and keeps
+// them current across link failures and recoveries with incremental
+// recomputation: a link event re-runs the three-phase algorithm only for
+// the destinations it can actually affect, derived from the stored
+// next-hop pointers (see dirtyDown/dirtyUp). The incremental result is
+// byte-identical to a from-scratch recompute — TestTableIncrementalMatchesFull
+// and FuzzIncrementalTable enforce this.
+//
+// A Table is not safe for concurrent use; callers that share one across
+// goroutines (core.Deployment) serialize access themselves.
+type Table struct {
+	base    *topo.Graph // the intact topology
+	cur     *topo.Graph // base minus failed links (== base when none)
+	failed  map[topo.LinkRef]bool
+	dests   map[int]*Dest
+	workers int
+	stats   TableStats
+}
+
+// NewTable computes tables for every destination in dsts over g, in
+// parallel with the given worker bound (0 = all CPUs).
+func NewTable(g *topo.Graph, dsts []int, workers int) *Table {
+	t := &Table{
+		base:    g,
+		cur:     g,
+		failed:  make(map[topo.LinkRef]bool),
+		dests:   make(map[int]*Dest, len(dsts)),
+		workers: workers,
+	}
+	tables := ComputeAll(g, dsts, workers)
+	for i, dst := range dsts {
+		t.dests[dst] = tables[i]
+	}
+	t.stats.FullComputes += int64(len(dsts))
+	return t
+}
+
+// NewEmptyTable returns a Table over g with no destinations installed yet;
+// populate it with Install or AddDest.
+func NewEmptyTable(g *topo.Graph, workers int) *Table {
+	return &Table{
+		base:    g,
+		cur:     g,
+		failed:  make(map[topo.LinkRef]bool),
+		dests:   make(map[int]*Dest),
+		workers: workers,
+	}
+}
+
+// Graph returns the current topology (the intact graph minus failed links).
+func (t *Table) Graph() *topo.Graph { return t.cur }
+
+// Dest returns the table for dst, or nil when dst is not installed.
+func (t *Table) Dest(dst int) *Dest { return t.dests[dst] }
+
+// Len returns the number of installed destinations.
+func (t *Table) Len() int { return len(t.dests) }
+
+// Dests returns the installed destination indices in ascending order.
+func (t *Table) Dests() []int {
+	out := make([]int, 0, len(t.dests))
+	for dst := range t.dests {
+		out = append(out, dst)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// All returns the installed tables in ascending destination order.
+func (t *Table) All() []*Dest {
+	dsts := t.Dests()
+	out := make([]*Dest, len(dsts))
+	for i, dst := range dsts {
+		out[i] = t.dests[dst]
+	}
+	return out
+}
+
+// Install records an externally computed table, replacing any previous one
+// for the same destination. The caller is responsible for d matching the
+// Table's current topology.
+func (t *Table) Install(d *Dest) { t.dests[d.Dst()] = d }
+
+// AddDest computes (on the current topology) and installs the table for a
+// new destination, returning it. Installed destinations are recomputed in
+// place.
+func (t *Table) AddDest(dst int) *Dest {
+	d := Compute(t.cur, dst)
+	t.dests[dst] = d
+	t.stats.FullComputes++
+	return d
+}
+
+// Stats returns the accumulated computation counters.
+func (t *Table) Stats() TableStats { return t.stats }
+
+// Clone returns a Table sharing the (immutable) per-destination tables and
+// the topology state but with fresh counters: incremental work done on the
+// clone does not disturb the original, which is how the simulator keeps an
+// intact reference table while failures evolve a copy.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		base:    t.base,
+		cur:     t.cur,
+		failed:  make(map[topo.LinkRef]bool, len(t.failed)),
+		dests:   make(map[int]*Dest, len(t.dests)),
+		workers: t.workers,
+	}
+	for r := range t.failed {
+		c.failed[r] = true
+	}
+	for dst, d := range t.dests {
+		c.dests[dst] = d
+	}
+	return c
+}
+
+// FailedLinks returns the number of currently failed links.
+func (t *Table) FailedLinks() int { return len(t.failed) }
+
+// LinkDown removes the undirected link (a, b) and incrementally recomputes
+// the affected destinations. It returns the number of destinations
+// recomputed, and is a no-op (returning 0) when the link does not exist or
+// is already down.
+//
+// Dirty-set derivation for a removal: deleting link (a, b) withdraws
+// exactly two route offers — a's route as offered to b, and b's as offered
+// to a. Every other AS's candidate set is unchanged, so the deterministic
+// selection fixed point can only move if one of those two offers was
+// actually selected, i.e. the destination's route tree traverses the link:
+// next[a] == b or next[b] == a.
+func (t *Table) LinkDown(a, b int) int {
+	if !t.cur.HasLink(a, b) {
+		return 0
+	}
+	dirty := make([]int, 0, len(t.dests))
+	for dst, d := range t.dests {
+		if d.usesLink(a, b) {
+			dirty = append(dirty, dst)
+		}
+	}
+	ref := normLinkRef(a, b)
+	t.failed[ref] = true
+	t.recut()
+	t.recompute(dirty)
+	return len(dirty)
+}
+
+// LinkUp restores a previously failed link and incrementally recomputes
+// the affected destinations. It returns the number of destinations
+// recomputed, and is a no-op when the link was not failed through this
+// Table.
+//
+// Dirty-set derivation for a restoration: adding link (a, b) introduces
+// exactly two new route offers — a's route offered to b and b's offered to
+// a. All other candidate sets are unchanged, so the fixed point moves only
+// if one of the new offers beats (under the class / path-length / lowest
+// next-hop order) the incumbent best route at its receiving end, after the
+// valley-free export filter and the AS-path loop filter.
+func (t *Table) LinkUp(a, b int) int {
+	ref := normLinkRef(a, b)
+	if !t.failed[ref] {
+		return 0
+	}
+	delete(t.failed, ref)
+	t.recut()
+	// Relationship of each endpoint as seen from the other, on the restored
+	// graph.
+	relAB, ok := t.cur.Rel(a, b) // b's role from a's viewpoint
+	if !ok {
+		panic("bgp: LinkUp restored a link absent from the base graph")
+	}
+	relBA := relAB.Invert() // a's role from b's viewpoint
+	dirty := make([]int, 0, len(t.dests))
+	for dst, d := range t.dests {
+		// offerWins wants the announcer's role as seen from the receiver:
+		// b announcing to a is classified by Rel(a, b), and vice versa.
+		if offerWins(d, b, a, relAB) || offerWins(d, a, b, relBA) {
+			dirty = append(dirty, dst)
+		}
+	}
+	t.recompute(dirty)
+	return len(dirty)
+}
+
+// usesLink reports whether the destination's route tree traverses the
+// undirected link (a, b) — i.e. either endpoint's best route exits through
+// the other.
+func (d *Dest) usesLink(a, b int) bool {
+	return int(d.next[a]) == b || int(d.next[b]) == a
+}
+
+// offerWins reports whether the route `from` would offer `to` across a
+// restored direct link beats to's incumbent best route. rel is from's role
+// as seen from to (so the offered route's class at to is classOf(rel)).
+func offerWins(d *Dest, from, to int, rel topo.Rel) bool {
+	if d.class[from] == ClassUnreachable {
+		return false // nothing to offer
+	}
+	// Valley-free export at from: to its customers from exports everything;
+	// to peers and providers only customer (or origin) routes. to is from's
+	// customer iff from is to's provider.
+	if rel != topo.Provider && d.class[from] != ClassOrigin && d.class[from] != ClassCustomer {
+		return false
+	}
+	// Standard AS-path loop filter: from's route must not already contain to.
+	if d.onBestPath(from, to) {
+		return false
+	}
+	if d.class[to] == ClassUnreachable {
+		return true // to gains its first route
+	}
+	cand := Alt{Via: int32(from), Class: classOf(rel), Hops: d.hops[from] + 1}
+	cur := Alt{Via: d.next[to], Class: d.class[to], Hops: d.hops[to]}
+	return cand.Better(cur)
+}
+
+// recut rebuilds the current graph from the base graph minus the failed
+// set.
+func (t *Table) recut() {
+	t.stats.LinkEvents++
+	if len(t.failed) == 0 {
+		t.cur = t.base
+		return
+	}
+	refs := make([]topo.LinkRef, 0, len(t.failed))
+	for r := range t.failed {
+		refs = append(refs, r)
+	}
+	g, err := topo.RemoveLinks(t.base, refs)
+	if err != nil {
+		// Removal cannot introduce cycles or duplicates; an error here means
+		// the base graph was invalid.
+		panic("bgp: recut: " + err.Error())
+	}
+	t.cur = g
+}
+
+// recompute re-runs the three-phase algorithm for the given destinations
+// on the current graph, in parallel.
+func (t *Table) recompute(dirty []int) {
+	t.stats.IncrementalComputes += int64(len(dirty))
+	t.stats.CleanSkipped += int64(len(t.dests) - len(dirty))
+	if len(dirty) == 0 {
+		return
+	}
+	sort.Ints(dirty) // deterministic work order
+	fresh := parallel.Map(len(dirty), t.workers, func(i int) *Dest {
+		return Compute(t.cur, dirty[i])
+	})
+	for i, dst := range dirty {
+		t.dests[dst] = fresh[i]
+	}
+}
+
+// Equal reports whether two tables for the same destination are
+// byte-identical: same class, path length, and next hop at every AS. It is
+// the differential-testing oracle for incremental recomputation.
+func (d *Dest) Equal(o *Dest) bool {
+	if d.dst != o.dst || len(d.class) != len(o.class) {
+		return false
+	}
+	for i := range d.class {
+		if d.class[i] != o.class[i] || d.next[i] != o.next[i] {
+			return false
+		}
+		if d.class[i] != ClassUnreachable && d.hops[i] != o.hops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func normLinkRef(a, b int) topo.LinkRef {
+	if a > b {
+		a, b = b, a
+	}
+	return topo.LinkRef{A: a, B: b}
+}

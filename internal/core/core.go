@@ -70,7 +70,11 @@ type Deployment struct {
 	// tables holds the installed per-destination routing tables, guarded
 	// for concurrent access by the Runtime's daemon goroutines.
 	tablesMu sync.RWMutex
-	tables   map[int32]*bgp.Dest
+	tables   *bgp.Table
+
+	// FIB publication metrics, nil unless Instrument was called.
+	fibCommit *obs.Histogram
+	fibGen    *obs.GaugeVec
 }
 
 type portRef struct {
@@ -94,7 +98,7 @@ func NewDeployment(g *topo.Graph, cfg Config) *Deployment {
 		egress:    make([]map[int32]portRef, g.N()),
 		daemons:   make([]*Daemon, g.N()),
 		ibgp:      make(map[dataplane.RouterID]map[dataplane.RouterID]int),
-		tables:    make(map[int32]*bgp.Dest),
+		tables:    bgp.NewEmptyTable(g, 0),
 	}
 	expanded := make([]bool, g.N())
 	for _, v := range cfg.ExpandASes {
@@ -203,60 +207,110 @@ func (d *Deployment) EgressPort(v, u int) (*dataplane.Router, int, error) {
 // Routers of the destination AS deliver locally. ASes without a route get
 // no entry (their packets drop as no-route, matching an empty BGP table).
 func (d *Deployment) InstallDestination(t *bgp.Dest) {
-	dst := int32(t.Dst())
+	d.InstallDestinations([]*bgp.Dest{t})
+}
+
+// InstallDestinations programs a batch of destinations with one FIB commit
+// per router: N destinations cost each router one staged generation instead
+// of N, which keeps bulk installation linear in table size.
+func (d *Deployment) InstallDestinations(ts []*bgp.Dest) {
 	d.tablesMu.Lock()
-	d.tables[dst] = t
-	d.tablesMu.Unlock()
-	for _, id := range d.routersOf[t.Dst()] {
-		d.Net.Router(id).Local[dst] = true
+	for _, t := range ts {
+		d.tables.Install(t)
 	}
-	for v := 0; v < d.Graph.N(); v++ {
-		if v == t.Dst() || !t.Reachable(v) {
-			continue
+	d.tablesMu.Unlock()
+	txs := make([]fibTx, len(d.Net.Routers))
+	for i, r := range d.Net.Routers {
+		txs[i] = beginFIB(r)
+	}
+	for _, t := range ts {
+		dst := int32(t.Dst())
+		for _, id := range d.routersOf[t.Dst()] {
+			d.Net.Router(id).Local[dst] = true
 		}
-		ref := d.egress[v][int32(t.NextHop(v))]
-		for _, id := range d.routersOf[v] {
-			if id == ref.router {
-				d.setEntry(id, dst, dataplane.FIBEntry{Out: ref.port, Alt: -1, AltVia: -1})
-			} else {
-				d.setEntry(id, dst, dataplane.FIBEntry{
-					Out: d.ibgp[id][ref.router], Alt: -1, AltVia: ref.router,
-				})
+		for v := 0; v < d.Graph.N(); v++ {
+			if v == t.Dst() || !t.Reachable(v) {
+				continue
+			}
+			ref := d.egress[v][int32(t.NextHop(v))]
+			for _, id := range d.routersOf[v] {
+				if id == ref.router {
+					txs[id].set(dst, dataplane.FIBEntry{Out: ref.port, Alt: -1, AltVia: -1})
+				} else {
+					txs[id].set(dst, dataplane.FIBEntry{
+						Out: d.ibgp[id][ref.router], Alt: -1, AltVia: ref.router,
+					})
+				}
 			}
 		}
 	}
+	for _, tx := range txs {
+		tx.commit()
+	}
 }
 
-// setEntry installs a forwarding entry in whichever FIB representation the
-// deployment uses.
-func (d *Deployment) setEntry(id dataplane.RouterID, dst int32, e dataplane.FIBEntry) {
-	r := d.Net.Router(id)
+// fibTx stages updates against whichever FIB representation a router runs —
+// the dense identifier map or the longest-prefix-match trie — behind one
+// transactional surface, so the daemon's epoch batching does not care which
+// one the deployment uses. Exactly one of the two fields is non-nil.
+type fibTx struct {
+	fib *dataplane.FIBTx
+	px  *lpm.Txn[dataplane.FIBEntry]
+}
+
+// beginFIB opens a transaction on r's FIB. The transaction holds the
+// router's writer lock until commit; forwarding lookups stay wait-free on
+// the published generation throughout.
+func beginFIB(r *dataplane.Router) fibTx {
 	if r.PrefixFIB != nil {
+		return fibTx{px: r.PrefixFIB.Begin()}
+	}
+	return fibTx{fib: r.FIB.Begin()}
+}
+
+// set stages an install or replacement of the entry for dst.
+func (tx fibTx) set(dst int32, e dataplane.FIBEntry) {
+	if tx.px != nil {
 		// Installation of a /32 cannot fail: the address has no host bits
 		// beyond the mask.
-		if err := r.PrefixFIB.Insert(dataplane.PrefixAddr(dst), 32, e); err != nil {
+		if err := tx.px.Insert(dataplane.PrefixAddr(dst), 32, e); err != nil {
 			panic("core: prefix install: " + err.Error())
 		}
 		return
 	}
-	r.FIB.Set(dst, e)
+	tx.fib.Set(dst, e)
 }
 
-// setAlt rewrites only the alternative of an existing entry.
-func (d *Deployment) setAlt(id dataplane.RouterID, dst int32, alt int, via dataplane.RouterID) bool {
-	r := d.Net.Router(id)
-	if r.PrefixFIB != nil {
-		return r.PrefixFIB.Update(dataplane.PrefixAddr(dst), 32, func(e dataplane.FIBEntry) dataplane.FIBEntry {
+// setAlt stages a rewrite of only the alternative of an existing entry,
+// reporting whether dst had one.
+func (tx fibTx) setAlt(dst int32, alt int, via dataplane.RouterID) bool {
+	if tx.px != nil {
+		return tx.px.Update(dataplane.PrefixAddr(dst), 32, func(e dataplane.FIBEntry) dataplane.FIBEntry {
 			e.Alt = alt
 			e.AltVia = via
 			return e
 		})
 	}
-	if _, ok := r.FIB.Lookup(dst); !ok {
-		return false
+	return tx.fib.SetAlt(dst, alt, via)
+}
+
+// commit publishes the staged generation and returns its id.
+func (tx fibTx) commit() uint64 {
+	if tx.px != nil {
+		return tx.px.Commit()
 	}
-	r.FIB.SetAlt(dst, alt, via)
-	return true
+	return tx.fib.Commit()
+}
+
+// Instrument registers the deployment's FIB publication metrics on reg:
+// core_fib_commit_seconds (histogram of one epoch's stage-and-publish
+// latency per daemon) and core_fib_generation (gauge of each router's
+// published FIB generation). Call before daemons start refreshing.
+func (d *Deployment) Instrument(reg *obs.Registry) {
+	d.fibCommit = reg.Histogram("core_fib_commit_seconds",
+		"time for one daemon control epoch to stage and publish its routers' batched FIB updates", obs.DurationBuckets)
+	d.fibGen = reg.GaugeVec("core_fib_generation",
+		"published FIB generation per router; one increment per effective commit", "router")
 }
 
 // SetLinkLoad records the directional load (bits/s) on the link from AS v
@@ -287,18 +341,17 @@ func (d *Deployment) ResetLoads() {
 	}
 }
 
-// Refresh runs every daemon once: alternative paths are re-selected from
-// the RIBs using current spare-capacity measurements, and FIB alt ports are
-// updated. Call it after load changes, as the periodic daemon would.
+// Refresh runs every daemon's control epoch once: alternative paths are
+// re-selected from the RIBs using current spare-capacity measurements and
+// each router's FIB is republished in a single batched commit. Call it
+// after load changes, as the periodic daemon would.
 func (d *Deployment) Refresh() {
 	tables := d.Tables()
 	for _, dm := range d.daemons {
 		if dm == nil {
 			continue
 		}
-		for _, t := range tables {
-			dm.RefreshDestination(t)
-		}
+		dm.RefreshAll(tables)
 	}
 }
 

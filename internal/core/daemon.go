@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/bgp"
@@ -17,6 +18,12 @@ import (
 type Daemon struct {
 	dep *Deployment
 	as  int
+	// rib is the scratch buffer RIB mining reuses across the destinations of
+	// one control epoch (see bgp.RIBInto). It makes RefreshAll and
+	// RefreshDestination unsafe to call concurrently on the same daemon; the
+	// Runtime gives each daemon exactly one goroutine, and the read-only
+	// SelectAlternative does not touch it.
+	rib []bgp.Alt
 }
 
 func newDaemon(dep *Deployment, as int) *Daemon {
@@ -45,11 +52,21 @@ type Selection struct {
 // fall back to standard route preference. ok is false when the RIB offers
 // no alternative.
 func (dm *Daemon) SelectAlternative(t *bgp.Dest) (sel Selection, ok bool) {
+	sel, ok, _ = dm.selectInto(t, nil)
+	return sel, ok
+}
+
+// selectInto is SelectAlternative with a caller-provided RIB scratch buffer
+// (built in buf[:0], returned for reuse). The refresh path threads one
+// buffer through a whole control epoch so per-destination selection does
+// not allocate.
+func (dm *Daemon) selectInto(t *bgp.Dest, buf []bgp.Alt) (sel Selection, ok bool, out []bgp.Alt) {
 	if dm.as == t.Dst() || !t.Reachable(dm.as) {
-		return Selection{}, false
+		return Selection{}, false, buf
 	}
 	def := int32(t.NextHop(dm.as))
-	for _, alt := range bgp.RIB(dm.dep.Graph, t, dm.as) {
+	buf = bgp.RIBInto(dm.dep.Graph, t, dm.as, buf)
+	for _, alt := range buf {
 		if alt.Via == def {
 			continue // the default route is not an alternative
 		}
@@ -64,7 +81,7 @@ func (dm *Daemon) SelectAlternative(t *bgp.Dest) (sel Selection, ok bool) {
 			sel, ok = cand, true
 		}
 	}
-	return sel, ok
+	return sel, ok, buf
 }
 
 func better(a, b Selection) bool {
@@ -74,28 +91,65 @@ func better(a, b Selection) bool {
 	return a.Alt.Better(b.Alt)
 }
 
+// RefreshAll runs one control epoch: it re-selects the alternative for
+// every given destination and publishes the results as exactly one FIB
+// commit per border router of the AS. The forwarding engine therefore sees
+// either the whole previous epoch or the whole new one — never a half-
+// updated mix — and the per-commit map/trie copy is amortized over every
+// destination instead of paid per entry.
+func (dm *Daemon) RefreshAll(tables []*bgp.Dest) {
+	dep := dm.dep
+	rs := dep.routersOf[dm.as]
+	start := time.Now()
+	txs := make([]fibTx, len(rs))
+	for i, id := range rs {
+		txs[i] = beginFIB(dep.Net.Router(id))
+	}
+	for _, t := range tables {
+		dm.refreshInto(txs, t)
+	}
+	for i, id := range rs {
+		gen := txs[i].commit()
+		if dep.fibGen != nil {
+			dep.fibGen.With(strconv.Itoa(int(id))).Set(float64(gen))
+		}
+	}
+	if dep.fibCommit != nil {
+		dep.fibCommit.Observe(time.Since(start).Seconds())
+	}
+}
+
 // RefreshDestination re-selects the alternative for one destination and
 // rewrites the alt port on every border router of the AS: the router owning
 // the chosen link points its alt at the eBGP port; every sibling points its
 // alt at the iBGP port towards that owner (packets will be IP-in-IP
-// encapsulated to it).
+// encapsulated to it). It is a control epoch of one destination; use
+// RefreshAll to batch.
 func (dm *Daemon) RefreshDestination(t *bgp.Dest) {
+	dm.RefreshAll([]*bgp.Dest{t})
+}
+
+// refreshInto stages one destination's alt re-selection into the epoch's
+// per-router transactions (txs parallel to routersOf[dm.as]).
+func (dm *Daemon) refreshInto(txs []fibTx, t *bgp.Dest) {
 	dst := int32(t.Dst())
-	sel, ok := dm.SelectAlternative(t)
+	var sel Selection
+	var ok bool
+	sel, ok, dm.rib = dm.selectInto(t, dm.rib)
 	rs := dm.dep.routersOf[dm.as]
 	if !ok {
-		for _, id := range rs {
-			dm.dep.setAlt(id, dst, -1, -1)
+		for i := range rs {
+			txs[i].setAlt(dst, -1, -1)
 		}
 		dm.traceUpdate(dst, Selection{Port: -1}, false)
 		return
 	}
-	for _, id := range rs {
+	for i, id := range rs {
 		if id == sel.Router {
 			r := dm.dep.Net.Router(id)
-			dm.dep.setAlt(id, dst, sel.Port, r.Ports[sel.Port].Peer)
+			txs[i].setAlt(dst, sel.Port, r.Ports[sel.Port].Peer)
 		} else {
-			dm.dep.setAlt(id, dst, dm.dep.ibgp[id][sel.Router], sel.Router)
+			txs[i].setAlt(dst, dm.dep.ibgp[id][sel.Router], sel.Router)
 		}
 	}
 	dm.traceUpdate(dst, sel, true)

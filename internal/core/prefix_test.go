@@ -79,7 +79,10 @@ func TestPrefixFIBClearAlt(t *testing.T) {
 	}
 	// With the whole RIB reduced to one route the daemon clears the alt.
 	// Simulate by clearing directly through the abstraction.
-	if !d.setAlt(r.ID, 0, -1, -1) {
+	tx := beginFIB(r)
+	ok = tx.setAlt(0, -1, -1)
+	tx.commit()
+	if !ok {
 		t.Fatal("setAlt failed")
 	}
 	e, _ = r.PrefixFIB.Lookup(dataplane.PrefixAddr(0))

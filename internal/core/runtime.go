@@ -13,9 +13,11 @@ import (
 // periodically collects the data plane's link measurements and rewrites
 // its AS's alternative ports, concurrently with packet forwarding.
 //
-// The data plane is safe for this concurrency: FIB updates take a write
-// lock and the queue/utilization signals are atomics, mirroring the
-// kernel/daemon split of the prototype (Fig. 10).
+// The data plane is safe for this concurrency: each daemon publishes a
+// control epoch as one immutable FIB generation per router (an atomic
+// pointer swap; forwarding lookups never take a lock) and the
+// queue/utilization signals are atomics, mirroring the kernel/daemon split
+// of the prototype (Fig. 10).
 type Runtime struct {
 	dep      *Deployment
 	interval time.Duration
@@ -44,11 +46,13 @@ func NewRuntime(dep *Deployment, interval time.Duration) *Runtime {
 
 // Instrument registers the runtime's control-loop metrics on reg:
 // core_daemon_epoch_seconds (histogram) and core_daemon_epochs_total
-// (counter). Call before Start.
+// (counter), plus the deployment's FIB publication metrics
+// (core_fib_commit_seconds, core_fib_generation). Call before Start.
 func (rt *Runtime) Instrument(reg *obs.Registry) {
 	rt.epochDur = reg.Histogram("core_daemon_epoch_seconds",
 		"duration of one MIFO daemon control epoch (refresh of every destination)", obs.DurationBuckets)
 	rt.epochs = reg.Counter("core_daemon_epochs_total", "control epochs executed across all daemons")
+	rt.dep.Instrument(reg)
 }
 
 // Start launches one goroutine per capable AS. It is a no-op if already
@@ -80,9 +84,7 @@ func (rt *Runtime) loop(dm *Daemon) {
 			return
 		case <-ticker.C:
 			start := time.Now()
-			for _, t := range rt.dep.Tables() {
-				dm.RefreshDestination(t)
-			}
+			dm.RefreshAll(rt.dep.Tables())
 			if rt.epochDur != nil {
 				rt.epochDur.Observe(time.Since(start).Seconds())
 				rt.epochs.Inc()
@@ -106,13 +108,10 @@ func (rt *Runtime) Stop() {
 }
 
 // Tables returns a snapshot of the installed per-destination routing
-// tables, safe to iterate while destinations are being added.
+// tables in ascending destination order, safe to iterate while
+// destinations are being added.
 func (d *Deployment) Tables() []*bgp.Dest {
 	d.tablesMu.RLock()
 	defer d.tablesMu.RUnlock()
-	out := make([]*bgp.Dest, 0, len(d.tables))
-	for _, t := range d.tables {
-		out = append(out, t)
-	}
-	return out
+	return d.tables.All()
 }

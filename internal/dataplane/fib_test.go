@@ -1,0 +1,111 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFIBTransactionAtomicity: a reader must never observe a half-applied
+// transaction — every lookup sees either the whole previous generation or
+// the whole committed one.
+func TestFIBTransactionAtomicity(t *testing.T) {
+	f := NewFIB()
+	tx := f.Begin()
+	tx.Set(1, FIBEntry{Out: 1, Alt: -1, AltVia: -1})
+	tx.Set(2, FIBEntry{Out: 2, Alt: -1, AltVia: -1})
+	tx.Commit()
+	if f.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", f.Generation())
+	}
+
+	// Stage a correlated update of both entries...
+	tx = f.Begin()
+	tx.SetAlt(1, 9, 9)
+	tx.SetAlt(2, 9, 9)
+	// ...not yet visible before Commit.
+	if e, _ := f.Lookup(1); e.Alt != -1 {
+		t.Fatalf("staged write visible before commit: %+v", e)
+	}
+	tx.Commit()
+	e1, _ := f.Lookup(1)
+	e2, _ := f.Lookup(2)
+	if e1.Alt != 9 || e2.Alt != 9 {
+		t.Fatalf("committed writes not visible: %+v %+v", e1, e2)
+	}
+	if f.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", f.Generation())
+	}
+}
+
+// TestFIBCleanCommitKeepsGeneration: a transaction that changes nothing
+// effective publishes nothing.
+func TestFIBCleanCommitKeepsGeneration(t *testing.T) {
+	f := NewFIB()
+	f.Set(1, FIBEntry{Out: 1, Alt: 3, AltVia: 7})
+	gen := f.Generation()
+
+	tx := f.Begin()
+	if !tx.SetAlt(1, 3, 7) {
+		t.Fatal("SetAlt on existing entry reported missing")
+	}
+	if tx.SetAlt(42, 1, 1) {
+		t.Fatal("SetAlt on missing entry reported success")
+	}
+	if got := tx.Commit(); got != gen {
+		t.Fatalf("no-op commit moved generation %d -> %d", gen, got)
+	}
+}
+
+// TestFIBConcurrentCommitLookup is the -race stress for the FE/daemon
+// split: readers hammer Lookup while writers commit batched generations.
+// Each committed generation keeps the invariant Alt == Out+1 across both
+// entries, so any torn read surfaces as a broken pair.
+func TestFIBConcurrentCommitLookup(t *testing.T) {
+	f := NewFIB()
+	tx := f.Begin()
+	tx.Set(1, FIBEntry{Out: 0, Alt: 1, AltVia: 1})
+	tx.Set(2, FIBEntry{Out: 0, Alt: 1, AltVia: 1})
+	tx.Commit()
+
+	const commits = 2000
+	var stop atomic.Bool
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for !stop.Load() {
+				e1, ok1 := f.Lookup(1)
+				e2, ok2 := f.Lookup(2)
+				if !ok1 || !ok2 {
+					t.Error("entry vanished mid-run")
+					return
+				}
+				if e1.Alt != e1.Out+1 || e2.Alt != e2.Out+1 {
+					t.Errorf("torn read: %+v %+v", e1, e2)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < commits; i++ {
+				tx := f.Begin()
+				out := i % 7
+				tx.Set(1, FIBEntry{Out: out, Alt: out + 1, AltVia: 1})
+				tx.Set(2, FIBEntry{Out: out, Alt: out + 1, AltVia: 1})
+				tx.Commit()
+			}
+		}()
+	}
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+	if got := f.Generation(); got != 1+2*commits {
+		t.Fatalf("generation = %d, want %d (one bump per dirty commit)", got, 1+2*commits)
+	}
+}

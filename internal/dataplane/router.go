@@ -3,7 +3,6 @@ package dataplane
 import (
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -78,65 +77,6 @@ type FIBEntry struct {
 	// alternative this is the egress iBGP peer and becomes the outer
 	// destination of the encapsulated packet.
 	AltVia RouterID
-}
-
-// FIB maps destination identifiers to entries. The MIFO daemon updates the
-// Alt fields as link conditions change, concurrently with forwarding, so
-// access is guarded by a read-write lock (the paper's kernel module update
-// path has the same split: FE reads, daemon writes).
-type FIB struct {
-	mu      sync.RWMutex
-	entries map[int32]FIBEntry
-}
-
-// NewFIB returns an empty FIB.
-func NewFIB() *FIB {
-	return &FIB{entries: make(map[int32]FIBEntry)}
-}
-
-// Set installs or replaces the entry for dst.
-func (f *FIB) Set(dst int32, e FIBEntry) {
-	f.mu.Lock()
-	f.entries[dst] = e
-	f.mu.Unlock()
-}
-
-// SetAlt updates only the alternative of an existing entry. It is a no-op
-// when dst has no entry.
-func (f *FIB) SetAlt(dst int32, alt int, via RouterID) {
-	f.mu.Lock()
-	if e, ok := f.entries[dst]; ok {
-		e.Alt = alt
-		e.AltVia = via
-		f.entries[dst] = e
-	}
-	f.mu.Unlock()
-}
-
-// ClearAlt removes the alternative of an existing entry.
-func (f *FIB) ClearAlt(dst int32) {
-	f.mu.Lock()
-	if e, ok := f.entries[dst]; ok {
-		e.Alt = -1
-		e.AltVia = -1
-		f.entries[dst] = e
-	}
-	f.mu.Unlock()
-}
-
-// Lookup returns the entry for dst.
-func (f *FIB) Lookup(dst int32) (FIBEntry, bool) {
-	f.mu.RLock()
-	e, ok := f.entries[dst]
-	f.mu.RUnlock()
-	return e, ok
-}
-
-// Len returns the number of installed entries.
-func (f *FIB) Len() int {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return len(f.entries)
 }
 
 // DeflectPolicy decides, per flow, whether a flow crossing a congested

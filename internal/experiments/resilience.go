@@ -30,6 +30,11 @@ type ResilienceRow struct {
 	MaxStallSec    float64
 	StalledForever int
 	MeanMbps       float64
+	// Routing counts the run's route-computation work: FullComputes for the
+	// intact tables, IncrementalComputes for the failure/recovery events,
+	// and CleanSkipped for the recomputes the incremental table proved
+	// unnecessary (the work a from-scratch rebuild would have wasted).
+	Routing bgp.TableStats
 }
 
 // RunResilience executes the failure scenario for BGP, MIRO and MIFO.
@@ -68,7 +73,7 @@ func RunResilience(o Options) (*Resilience, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: resilience %v: %v", pol, err)
 		}
-		row := ResilienceRow{Policy: pol.String(), MeanMbps: res.MeanThroughputMbps()}
+		row := ResilienceRow{Policy: pol.String(), MeanMbps: res.MeanThroughputMbps(), Routing: res.Routing}
 		stall := &metrics.CDF{}
 		for i := range res.Flows {
 			f := &res.Flows[i]

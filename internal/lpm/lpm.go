@@ -5,32 +5,54 @@
 // forwarding engine can run on genuine prefixes instead of dense
 // destination identifiers.
 //
-// The table is safe for concurrent use: lookups take a read lock while the
-// MIFO daemon inserts and updates entries, matching the FE/daemon split.
+// The table is versioned the way the kernel's RCU-protected fib_trie is:
+// every published generation is immutable, lookups are a single atomic
+// root load plus a walk over nodes nobody will ever mutate, and writers
+// path-copy the touched branch and publish with one pointer swap. The
+// MIFO daemon batches a whole control epoch of updates into one
+// transaction (Begin / Insert / Update / Remove / Commit), so the
+// forwarding engine never sees a half-applied epoch and never takes a
+// lock.
 package lpm
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // node is one binary-trie vertex. A node carries a value when a prefix
-// ends exactly here.
+// ends exactly here. stamp identifies the transaction that created the
+// node: a transaction may mutate its own nodes freely but must copy any
+// node published by an earlier generation.
 type node[V any] struct {
 	child [2]*node[V]
 	val   V
 	set   bool
+	stamp uint64
+}
+
+// gen is one immutable published generation.
+type gen[V any] struct {
+	root *node[V] // nil for an empty table
+	n    int
+	id   uint64
 }
 
 // Table is a longest-prefix-match table from IPv4 prefixes to values.
 type Table[V any] struct {
-	mu   sync.RWMutex
-	root node[V]
-	n    int
+	cur atomic.Pointer[gen[V]]
+	// mu serializes writers; a transaction holds it from Begin to Commit.
+	// Readers never touch it.
+	mu sync.Mutex
 }
 
 // New returns an empty table.
-func New[V any]() *Table[V] { return &Table[V]{} }
+func New[V any]() *Table[V] {
+	t := &Table[V]{}
+	t.cur.Store(&gen[V]{})
+	return t
+}
 
 func checkPrefix(addr uint32, bits int) error {
 	if bits < 0 || bits > 32 {
@@ -42,75 +64,13 @@ func checkPrefix(addr uint32, bits int) error {
 	return nil
 }
 
-// Insert adds or replaces the value for addr/bits. Host bits must be zero.
-func (t *Table[V]) Insert(addr uint32, bits int, v V) error {
-	if err := checkPrefix(addr, bits); err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	cur := &t.root
-	for i := 0; i < bits; i++ {
-		b := (addr >> (31 - i)) & 1
-		if cur.child[b] == nil {
-			cur.child[b] = &node[V]{}
-		}
-		cur = cur.child[b]
-	}
-	if !cur.set {
-		t.n++
-	}
-	cur.val = v
-	cur.set = true
-	return nil
-}
-
-// Remove deletes the exact prefix addr/bits and reports whether it existed.
-// Empty sub-tries are pruned.
-func (t *Table[V]) Remove(addr uint32, bits int) bool {
-	if checkPrefix(addr, bits) != nil {
-		return false
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	path := make([]*node[V], 0, bits+1)
-	cur := &t.root
-	path = append(path, cur)
-	for i := 0; i < bits; i++ {
-		b := (addr >> (31 - i)) & 1
-		if cur.child[b] == nil {
-			return false
-		}
-		cur = cur.child[b]
-		path = append(path, cur)
-	}
-	if !cur.set {
-		return false
-	}
-	var zero V
-	cur.val = zero
-	cur.set = false
-	t.n--
-	// Prune childless, valueless nodes bottom-up.
-	for i := len(path) - 1; i > 0; i-- {
-		nd := path[i]
-		if nd.set || nd.child[0] != nil || nd.child[1] != nil {
-			break
-		}
-		b := (addr >> (31 - (i - 1))) & 1
-		path[i-1].child[b] = nil
-	}
-	return true
-}
-
-// Lookup returns the value of the longest prefix covering addr.
+// Lookup returns the value of the longest prefix covering addr. It is
+// wait-free: an atomic root load and a walk over immutable nodes.
 func (t *Table[V]) Lookup(addr uint32) (V, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var best V
 	found := false
-	cur := &t.root
-	for i := 0; ; i++ {
+	cur := t.cur.Load().root
+	for i := 0; cur != nil; i++ {
 		if cur.set {
 			best = cur.val
 			found = true
@@ -118,11 +78,7 @@ func (t *Table[V]) Lookup(addr uint32) (V, bool) {
 		if i == 32 {
 			break
 		}
-		b := (addr >> (31 - i)) & 1
-		if cur.child[b] == nil {
-			break
-		}
-		cur = cur.child[b]
+		cur = cur.child[(addr>>(31-i))&1]
 	}
 	return best, found
 }
@@ -133,61 +89,32 @@ func (t *Table[V]) Exact(addr uint32, bits int) (V, bool) {
 	if checkPrefix(addr, bits) != nil {
 		return zero, false
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	cur := &t.root
-	for i := 0; i < bits; i++ {
-		b := (addr >> (31 - i)) & 1
-		if cur.child[b] == nil {
-			return zero, false
-		}
-		cur = cur.child[b]
+	cur := t.cur.Load().root
+	for i := 0; i < bits && cur != nil; i++ {
+		cur = cur.child[(addr>>(31-i))&1]
 	}
-	if !cur.set {
+	if cur == nil || !cur.set {
 		return zero, false
 	}
 	return cur.val, true
 }
 
-// Update applies fn to the value stored at exactly addr/bits, if present,
-// under the write lock — the daemon's read-modify-write for alt ports.
-func (t *Table[V]) Update(addr uint32, bits int, fn func(V) V) bool {
-	if checkPrefix(addr, bits) != nil {
-		return false
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	cur := &t.root
-	for i := 0; i < bits; i++ {
-		b := (addr >> (31 - i)) & 1
-		if cur.child[b] == nil {
-			return false
-		}
-		cur = cur.child[b]
-	}
-	if !cur.set {
-		return false
-	}
-	cur.val = fn(cur.val)
-	return true
-}
-
 // Len returns the number of stored prefixes.
-func (t *Table[V]) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.n
-}
+func (t *Table[V]) Len() int { return t.cur.Load().n }
 
-// Walk visits every stored prefix in address order. The callback must not
-// mutate the table.
+// Generation returns the identifier of the published generation. It
+// increments by one per committed transaction that changed anything.
+func (t *Table[V]) Generation() uint64 { return t.cur.Load().id }
+
+// Walk visits every stored prefix of the current generation in address
+// order. The snapshot is immutable, so the callback may take as long as it
+// likes without blocking writers (and must not assume later generations
+// are visible).
 func (t *Table[V]) Walk(fn func(addr uint32, bits int, v V) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	t.walk(&t.root, 0, 0, fn)
+	walk(t.cur.Load().root, 0, 0, fn)
 }
 
-func (t *Table[V]) walk(nd *node[V], addr uint32, depth int, fn func(uint32, int, V) bool) bool {
+func walk[V any](nd *node[V], addr uint32, depth int, fn func(uint32, int, V) bool) bool {
 	if nd == nil {
 		return true
 	}
@@ -197,8 +124,180 @@ func (t *Table[V]) walk(nd *node[V], addr uint32, depth int, fn func(uint32, int
 	if depth == 32 {
 		return true
 	}
-	if !t.walk(nd.child[0], addr, depth+1, fn) {
+	if !walk(nd.child[0], addr, depth+1, fn) {
 		return false
 	}
-	return t.walk(nd.child[1], addr|1<<(31-depth), depth+1, fn)
+	return walk(nd.child[1], addr|1<<(31-depth), depth+1, fn)
+}
+
+// Txn is a staged next generation: a private path-copied trie the
+// transaction may mutate freely until Commit publishes it atomically. A
+// transaction holds the table's writer lock for its whole lifetime:
+// always Commit, and never leak one.
+type Txn[V any] struct {
+	t     *Table[V]
+	root  *node[V]
+	n     int
+	stamp uint64
+	dirty bool
+}
+
+// Begin opens a transaction against the current generation. Unlike the
+// map FIB, nothing is copied up front — only the branches the transaction
+// touches are path-copied, so a small batch against a large table stays
+// cheap.
+func (t *Table[V]) Begin() *Txn[V] {
+	t.mu.Lock()
+	cur := t.cur.Load()
+	return &Txn[V]{t: t, root: cur.root, n: cur.n, stamp: cur.id + 1}
+}
+
+// Commit publishes the staged generation with a single pointer swap and
+// releases the writer lock, returning the published generation id.
+func (tx *Txn[V]) Commit() uint64 {
+	cur := tx.t.cur.Load()
+	id := cur.id
+	if tx.dirty {
+		id++
+		tx.t.cur.Store(&gen[V]{root: tx.root, n: tx.n, id: id})
+	}
+	tx.t.mu.Unlock()
+	tx.t = nil // poison: a second Commit is a bug, fail loudly
+	return id
+}
+
+// mutable returns a node the transaction owns and may mutate: nd itself
+// when this transaction created it, a copy otherwise (nil allocates a
+// fresh node). Stamps strictly increase across generations, so a stamp
+// match can only mean "created by this transaction".
+func (tx *Txn[V]) mutable(nd *node[V]) *node[V] {
+	if nd == nil {
+		return &node[V]{stamp: tx.stamp}
+	}
+	if nd.stamp == tx.stamp {
+		return nd
+	}
+	cp := *nd
+	cp.stamp = tx.stamp
+	return &cp
+}
+
+// Insert stages an add-or-replace of the value for addr/bits. Host bits
+// must be zero.
+func (tx *Txn[V]) Insert(addr uint32, bits int, v V) error {
+	if err := checkPrefix(addr, bits); err != nil {
+		return err
+	}
+	tx.root = tx.mutable(tx.root)
+	cur := tx.root
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		cur.child[b] = tx.mutable(cur.child[b])
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		tx.n++
+	}
+	cur.val = v
+	cur.set = true
+	tx.dirty = true
+	return nil
+}
+
+// Update stages fn applied to the value stored at exactly addr/bits, if
+// present — the daemon's read-modify-write for alt ports. It reports
+// whether the prefix existed.
+func (tx *Txn[V]) Update(addr uint32, bits int, fn func(V) V) bool {
+	if checkPrefix(addr, bits) != nil {
+		return false
+	}
+	// Probe read-only first so a missing prefix stages no copies.
+	probe := tx.root
+	for i := 0; i < bits && probe != nil; i++ {
+		probe = probe.child[(addr>>(31-i))&1]
+	}
+	if probe == nil || !probe.set {
+		return false
+	}
+	tx.root = tx.mutable(tx.root)
+	cur := tx.root
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		cur.child[b] = tx.mutable(cur.child[b])
+		cur = cur.child[b]
+	}
+	cur.val = fn(cur.val)
+	tx.dirty = true
+	return true
+}
+
+// Remove stages deletion of the exact prefix addr/bits and reports whether
+// it existed. Empty sub-tries are pruned.
+func (tx *Txn[V]) Remove(addr uint32, bits int) bool {
+	if checkPrefix(addr, bits) != nil {
+		return false
+	}
+	// Probe read-only first so a missing prefix stages no copies.
+	probe := tx.root
+	for i := 0; i < bits && probe != nil; i++ {
+		probe = probe.child[(addr>>(31-i))&1]
+	}
+	if probe == nil || !probe.set {
+		return false
+	}
+	tx.root = tx.mutable(tx.root)
+	path := make([]*node[V], 0, bits+1)
+	cur := tx.root
+	path = append(path, cur)
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		cur.child[b] = tx.mutable(cur.child[b])
+		cur = cur.child[b]
+		path = append(path, cur)
+	}
+	var zero V
+	cur.val = zero
+	cur.set = false
+	tx.n--
+	tx.dirty = true
+	// Prune childless, valueless nodes bottom-up. Every node on the path is
+	// transaction-owned, so in-place surgery is safe.
+	for i := len(path) - 1; i >= 0; i-- {
+		nd := path[i]
+		if nd.set || nd.child[0] != nil || nd.child[1] != nil {
+			break
+		}
+		if i == 0 {
+			tx.root = nil
+			break
+		}
+		path[i-1].child[(addr>>(31-(i-1)))&1] = nil
+	}
+	return true
+}
+
+// Insert adds or replaces the value for addr/bits in a single-op
+// transaction. Host bits must be zero.
+func (t *Table[V]) Insert(addr uint32, bits int, v V) error {
+	tx := t.Begin()
+	err := tx.Insert(addr, bits, v)
+	tx.Commit()
+	return err
+}
+
+// Remove deletes the exact prefix addr/bits and reports whether it
+// existed.
+func (t *Table[V]) Remove(addr uint32, bits int) bool {
+	tx := t.Begin()
+	ok := tx.Remove(addr, bits)
+	tx.Commit()
+	return ok
+}
+
+// Update applies fn to the value stored at exactly addr/bits, if present.
+func (t *Table[V]) Update(addr uint32, bits int, fn func(V) V) bool {
+	tx := t.Begin()
+	ok := tx.Update(addr, bits, fn)
+	tx.Commit()
+	return ok
 }

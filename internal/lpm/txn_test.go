@@ -1,0 +1,172 @@
+package lpm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTxnAtomicVisibility: staged operations are invisible until Commit,
+// then all visible at once, with one generation bump per dirty commit.
+func TestTxnAtomicVisibility(t *testing.T) {
+	tb := New[int]()
+	mustInsertInt(t, tb, 0x0A000000, 8, 1)
+	gen := tb.Generation()
+
+	tx := tb.Begin()
+	if err := tx.Insert(0x0B000000, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !tx.Update(0x0A000000, 8, func(v int) int { return v + 10 }) {
+		t.Fatal("Update missed existing prefix")
+	}
+	if _, ok := tb.Exact(0x0B000000, 8); ok {
+		t.Fatal("staged insert visible before commit")
+	}
+	if v, _ := tb.Exact(0x0A000000, 8); v != 1 {
+		t.Fatalf("staged update visible before commit: %d", v)
+	}
+	if got := tx.Commit(); got != gen+1 {
+		t.Fatalf("commit generation = %d, want %d", got, gen+1)
+	}
+	if v, ok := tb.Exact(0x0B000000, 8); !ok || v != 2 {
+		t.Fatalf("committed insert missing: %d %v", v, ok)
+	}
+	if v, _ := tb.Exact(0x0A000000, 8); v != 11 {
+		t.Fatalf("committed update missing: %d", v)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+// TestTxnNoOpKeepsGeneration: a transaction whose operations all miss
+// publishes nothing.
+func TestTxnNoOpKeepsGeneration(t *testing.T) {
+	tb := New[int]()
+	mustInsertInt(t, tb, 0x0A000000, 8, 1)
+	gen := tb.Generation()
+	tx := tb.Begin()
+	if tx.Update(0x0C000000, 8, func(v int) int { return v }) {
+		t.Fatal("Update hit a missing prefix")
+	}
+	if tx.Remove(0x0C000000, 8) {
+		t.Fatal("Remove hit a missing prefix")
+	}
+	if got := tx.Commit(); got != gen {
+		t.Fatalf("no-op commit moved generation %d -> %d", gen, got)
+	}
+}
+
+// TestTxnRemovePrunes: removal inside a transaction prunes empty branches
+// without disturbing the published snapshot readers hold.
+func TestTxnRemovePrunes(t *testing.T) {
+	tb := New[int]()
+	mustInsertInt(t, tb, 0x80000000, 1, 1)
+	mustInsertInt(t, tb, 0x80000000, 9, 2)
+
+	tx := tb.Begin()
+	if !tx.Remove(0x80000000, 9) {
+		t.Fatal("Remove missed")
+	}
+	tx.Commit()
+	if v, ok := tb.Lookup(0x80000001); !ok || v != 1 {
+		t.Fatalf("covering prefix lost after prune: %d %v", v, ok)
+	}
+	if _, ok := tb.Exact(0x80000000, 9); ok {
+		t.Fatal("removed prefix still present")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+
+	// Remove the last prefix: the root itself prunes away.
+	tb.Remove(0x80000000, 1)
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tb.Len())
+	}
+	if _, ok := tb.Lookup(0x80000000); ok {
+		t.Fatal("lookup hit in an empty table")
+	}
+}
+
+// TestTxnSnapshotIsolation: a reader that captured the table before a
+// commit keeps seeing its snapshot through Walk while a writer publishes
+// new generations (the RCU property the forwarding engine relies on).
+func TestTxnSnapshotIsolation(t *testing.T) {
+	tb := New[int]()
+	mustInsertInt(t, tb, 0x0A000000, 8, 1)
+
+	sawDuringWalk := 0
+	tb.Walk(func(addr uint32, bits int, v int) bool {
+		// Publish a new generation mid-walk; the walk must not see it.
+		tb.Insert(0x0B000000, 8, 2)
+		sawDuringWalk++
+		return true
+	})
+	if sawDuringWalk != 1 {
+		t.Fatalf("walk over snapshot visited %d prefixes, want 1", sawDuringWalk)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after mid-walk insert", tb.Len())
+	}
+}
+
+// TestLPMConcurrentCommitLookup is the -race stress for the prefix FIB:
+// readers look up continuously while a writer batch-updates values. The
+// invariant: both prefixes always carry the same committed batch number.
+func TestLPMConcurrentCommitLookup(t *testing.T) {
+	tb := New[int]()
+	mustInsertInt(t, tb, 0x0A000000, 8, 0)
+	mustInsertInt(t, tb, 0x0B000000, 8, 0)
+
+	const commits = 1000
+	var stop atomic.Bool
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for !stop.Load() {
+				a, ok1 := tb.Lookup(0x0A000001)
+				if !ok1 {
+					t.Error("prefix vanished")
+					return
+				}
+				_ = a
+				// A single generation must be internally consistent.
+				var va, vb int
+				n := 0
+				tb.Walk(func(_ uint32, _ int, v int) bool {
+					if n == 0 {
+						va = v
+					} else {
+						vb = v
+					}
+					n++
+					return true
+				})
+				if n != 2 || va != vb {
+					t.Errorf("torn generation: saw %d prefixes, values %d/%d", n, va, vb)
+					return
+				}
+			}
+		}()
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 1; i <= commits; i++ {
+			tx := tb.Begin()
+			tx.Update(0x0A000000, 8, func(int) int { return i })
+			tx.Update(0x0B000000, 8, func(int) int { return i })
+			tx.Commit()
+		}
+	}()
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+	if v, _ := tb.Exact(0x0A000000, 8); v != commits {
+		t.Fatalf("final value %d, want %d", v, commits)
+	}
+}

@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"repro/internal/bgp"
-	"repro/internal/topo"
 )
 
 // LinkFailure describes one injected failure of an undirected inter-AS
@@ -23,12 +22,11 @@ func (s *Sim) handleFail(f LinkFailure) {
 	}
 	s.capac[s.linkID(f.A, f.B)] = 0
 	s.capac[s.linkID(f.B, f.A)] = 0
-	if s.failedRefs == nil {
-		s.failedRefs = make(map[topo.LinkRef]bool)
+	if s.repairedTab == nil {
+		s.repairedTab = s.tab.Clone()
 	}
-	s.failedRefs[normRef(f.A, f.B)] = true
+	s.repairedTab.LinkDown(f.A, f.B)
 	s.lastChangeAt = s.now
-	s.rebuildFailedGraph()
 
 	for _, fi := range s.active {
 		st := s.flows[fi]
@@ -38,7 +36,7 @@ func (s *Sim) handleFail(f LinkFailure) {
 		if s.cfg.Policy == PolicyMIFO {
 			// Fast data-plane failover: the dead hop reads as congested,
 			// so the standard deflection logic applies right now.
-			s.adaptFlow(st, s.tables[st.Dst])
+			s.adaptFlow(st, s.tab.Dest(st.Dst))
 		}
 		if s.crossesDead(st.links) {
 			s.scheduleRepair(int(fi))
@@ -55,9 +53,10 @@ func (s *Sim) handleRecover(f LinkFailure) {
 	}
 	s.capac[s.linkID(f.A, f.B)] = s.cfg.LinkCapacityBps
 	s.capac[s.linkID(f.B, f.A)] = s.cfg.LinkCapacityBps
-	delete(s.failedRefs, normRef(f.A, f.B))
+	if s.repairedTab != nil {
+		s.repairedTab.LinkUp(f.A, f.B)
+	}
 	s.lastChangeAt = s.now
-	s.rebuildFailedGraph()
 
 	// Every flow's control-plane route converges back towards the original
 	// best path after the delay (the handler is a no-op for flows already
@@ -119,37 +118,16 @@ func (s *Sim) scheduleRepair(fi int) {
 	st.repairEvt = s.queue.Push(at, evReconverge, int32(fi))
 }
 
-// repairedTable computes (and caches) the BGP table for dst on the current
-// failed topology.
+// repairedTable returns the BGP table for dst on the current (possibly
+// degraded) topology. The repaired table is maintained incrementally — each
+// link event only recomputed the destinations it could affect, and
+// untouched destinations still share the intact table's memory — so this is
+// a plain map read, never a from-scratch compute.
 func (s *Sim) repairedTable(dst int) *bgp.Dest {
-	if s.failedGraph == nil {
-		return s.tables[dst]
+	if s.repairedTab == nil {
+		return s.tab.Dest(dst)
 	}
-	if t, ok := s.repaired[dst]; ok {
-		return t
-	}
-	t := bgp.Compute(s.failedGraph, dst)
-	s.repaired[dst] = t
-	return t
-}
-
-func (s *Sim) rebuildFailedGraph() {
-	s.repaired = make(map[int]*bgp.Dest)
-	if len(s.failedRefs) == 0 {
-		s.failedGraph = nil
-		return
-	}
-	refs := make([]topo.LinkRef, 0, len(s.failedRefs))
-	for r := range s.failedRefs {
-		refs = append(refs, r)
-	}
-	g, err := topo.RemoveLinks(s.g, refs)
-	if err != nil {
-		// Removal cannot introduce cycles or duplicates; an error here
-		// means the base graph was invalid.
-		panic("netsim: rebuildFailedGraph: " + err.Error())
-	}
-	s.failedGraph = g
+	return s.repairedTab.Dest(dst)
 }
 
 // crossesDead reports whether any link of the path has failed.
@@ -169,13 +147,6 @@ func (s *Sim) validLink(f LinkFailure) bool {
 		return false
 	}
 	return s.g.HasLink(f.A, f.B)
-}
-
-func normRef(a, b int) topo.LinkRef {
-	if a > b {
-		a, b = b, a
-	}
-	return topo.LinkRef{A: a, B: b}
 }
 
 func samePath(a, b []int) bool {

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"repro/internal/bgp"
 	"repro/internal/metrics"
 )
 
@@ -13,6 +14,11 @@ type Results struct {
 	Capacity float64
 	// Flows holds one result per input flow, in input order.
 	Flows []FlowResult
+	// Routing counts the route-computation work of the run: the intact
+	// table's full computes plus the repaired table's incremental work
+	// across link failures and recoveries. CleanSkipped is the work a
+	// from-scratch rebuild would have done for nothing.
+	Routing bgp.TableStats
 }
 
 // Routable returns the number of flows that had a route.

@@ -209,9 +209,11 @@ type flowState struct {
 
 // Sim holds one simulation run.
 type Sim struct {
-	g      *topo.Graph
-	cfg    Config
-	tables map[int]*bgp.Dest
+	g   *topo.Graph
+	cfg Config
+	// tab holds the intact topology's routing tables for every flow
+	// destination.
+	tab *bgp.Table
 
 	// CSR directed-link indexing: link v->u has id linkOff[v] + index of u
 	// in g.Neighbors(v).
@@ -225,10 +227,14 @@ type Sim struct {
 	touched  []int32   // links referenced by active flows
 	rank     []string  // scratch: candidate ranking for trace notes
 
-	// Failure state.
-	failedGraph  *topo.Graph       // g minus failed links; nil when intact
-	repaired     map[int]*bgp.Dest // post-failure tables, keyed by dst
-	failedRefs   map[topo.LinkRef]bool
+	// Failure state. repairedTab is the control plane's post-failure view:
+	// a clone of tab (sharing its per-destination tables) evolved by
+	// incremental LinkDown/LinkUp as failures come and go, so each topology
+	// change recomputes only the destinations whose route trees it touches
+	// instead of discarding every cached table. It is created on the first
+	// failure and kept for the rest of the run — a fail → recover → fail
+	// cycle of the same link reuses the evolved tables.
+	repairedTab  *bgp.Table
 	lastChangeAt float64 // time of the latest failure or recovery
 
 	flows   []*flowState
@@ -307,6 +313,10 @@ func Run(g *topo.Graph, flows []traffic.Flow, cfg Config) (*Results, error) {
 	}
 
 	res := &Results{Capacity: cfg.LinkCapacityBps, Policy: cfg.Policy}
+	res.Routing = s.tab.Stats()
+	if s.repairedTab != nil {
+		res.Routing.Add(s.repairedTab.Stats())
+	}
 	res.Flows = make([]FlowResult, len(flows))
 	for i, st := range s.flows {
 		fr := FlowResult{
@@ -368,11 +378,7 @@ func (s *Sim) precomputeRoutes(flows []traffic.Flow) error {
 		}
 	}
 	sort.Ints(dsts)
-	tables := bgp.ComputeAll(s.g, dsts, s.cfg.Workers)
-	s.tables = make(map[int]*bgp.Dest, len(dsts))
-	for i, dst := range dsts {
-		s.tables[dst] = tables[i]
-	}
+	s.tab = bgp.NewTable(s.g, dsts, s.cfg.Workers)
 	return nil
 }
 
@@ -401,7 +407,7 @@ func (s *Sim) capable(v int) bool {
 
 func (s *Sim) handleArrival(fi int) {
 	st := s.flows[fi]
-	table := s.tables[st.Dst]
+	table := s.tab.Dest(st.Dst)
 	if table == nil || !table.Reachable(st.Src) {
 		st.unroutable = true
 		st.done = true
@@ -466,7 +472,7 @@ func (s *Sim) handleEpoch() {
 			if st.switches >= s.cfg.MaxSwitches {
 				continue
 			}
-			table := s.tables[st.Dst]
+			table := s.tab.Dest(st.Dst)
 			if s.adaptFlow(st, table) {
 				moved++
 			}
