@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race audit-race fib-race vet bench bench-json fuzz figures testbed results clean
+.PHONY: all build test race audit-race fib-race vet lint bench bench-json fuzz figures testbed results clean
 
 all: build test
 
@@ -12,7 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+# mifolint: the repository's own analyzer suite (internal/lint) — FIB
+# generation immutability, the //mifo:hotpath cost budget, obs metric
+# naming, lock-scope hygiene, and the shadow/unusedwrite/nilness/droppederr
+# sweeps. Standalone mode enables the whole-tree checks; the same binary
+# also runs as `go vet -vettool=$$(which mifo-lint) ./...`.
+lint:
+	$(GO) run ./cmd/mifo-lint ./...
+
+test: vet lint
 	$(GO) test ./...
 
 race:
@@ -28,12 +36,13 @@ audit-race:
 
 # The versioned-FIB concurrency surface: wait-free lookups racing batched
 # generation commits (map FIB and LPM trie), plus the daemon runtime driving
-# real routers' FIBs while packets forward.
+# real routers' FIBs while packets forward, and the incremental route table
+# feeding them.
 fib-race:
-	$(GO) test -race -count=2 ./internal/dataplane ./internal/lpm ./internal/core
+	$(GO) test -race -count=2 ./internal/dataplane ./internal/lpm ./internal/core ./internal/bgp
 
 bench:
-	$(GO) test -run xxx -bench=. -benchmem .
+	$(GO) test -run xxx -bench=. -benchmem . ./internal/dataplane ./internal/audit ./internal/bgp ./internal/lpm
 
 # Machine-readable benchmark results for regression tracking: the
 # forwarding hot path plus the flight recorder at every setting
@@ -65,4 +74,4 @@ testbed:
 results: figures testbed
 
 clean:
-	rm -rf results/*.dat
+	rm -rf results/*.dat results/*.txt

@@ -1,0 +1,122 @@
+// Command mifo-lint runs the mifolint analyzer suite (internal/lint): the
+// static enforcement of the repository's concurrency and hot-path
+// contracts — generation immutability of the versioned FIB and LPM trie,
+// the //mifo:hotpath allocation/lock budget, obs metric naming, and
+// lock-scope hygiene — plus native ports of the non-default vet passes
+// shadow, unusedwrite, nilness, and the dropped-error sweep.
+//
+// Two modes:
+//
+//	mifo-lint [packages...]
+//
+// Standalone: loads the named packages (default ./...) with go/types
+// against build-cache export data and analyzes them in one run, which
+// enables the whole-tree checks (duplicate metric registration, the
+// transitive hot-path budget). Exits 1 when findings remain.
+//
+//	go vet -vettool=$(which mifo-lint) ./...
+//
+// Vet tool: speaks cmd/go's unitchecker protocol (-V=full versioning and
+// one *.cfg invocation per package), so the suite plugs into `go vet`
+// exactly like an x/tools multichecker binary. Per-unit invocation means
+// the whole-tree checks see one package at a time in this mode; `make
+// lint` uses the standalone mode for full coverage.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// cmd/go probes vet tools with `tool -V=full` before every run; the
+	// reply has to carry a stable build identifier because it keys vet's
+	// result cache.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		printVersion()
+		return
+	}
+	// cmd/go also probes `tool -flags` to learn which vet flags the tool
+	// accepts (JSON array). mifolint takes none in unit mode.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// Unit mode: cmd/go invokes `tool [flags] <file>.cfg` per package.
+	if len(os.Args) >= 2 && strings.HasSuffix(os.Args[len(os.Args)-1], ".cfg") {
+		os.Exit(unitMode(os.Args[len(os.Args)-1]))
+	}
+
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	dir := flag.String("C", ".", "directory to run in (module root)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mifo-lint [-json] [-C dir] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	pkgs, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.Suite())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(relativize(d.String()))
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mifo-lint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// relativize shortens absolute paths in a rendered diagnostic to the
+// current directory, keeping output clickable but compact.
+func relativize(s string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return s
+	}
+	if rel, err := filepath.Rel(wd, strings.SplitN(s, ":", 2)[0]); err == nil && !strings.HasPrefix(rel, "..") {
+		if i := strings.Index(s, ":"); i >= 0 {
+			return rel + s[i:]
+		}
+	}
+	return s
+}
+
+// printVersion answers cmd/go's -V=full probe in the format its toolID
+// parser expects: "<name> version <...>" with a buildID derived from the
+// binary's own contents, so editing the linter invalidates vet's cache.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f) //mifolint:ignore droppederr a short read only weakens the cache key, never correctness
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-lint: reading own binary:", err)
+			}
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}

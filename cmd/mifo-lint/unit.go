@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig is the per-package JSON configuration cmd/go hands a vet tool
+// (the unitchecker protocol). Field names are fixed by cmd/go.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitMode analyzes one package as directed by a vet .cfg file and
+// returns the process exit code: 0 clean, 2 findings, 1 tool failure.
+// Whole-tree checks (obsnames duplicates, the transitive hot-path budget)
+// degrade to per-package scope here; `make lint` runs the standalone mode
+// for the full-tree versions.
+func unitMode(cfgPath string) int {
+	data, readErr := os.ReadFile(cfgPath)
+	if readErr != nil {
+		fmt.Fprintln(os.Stderr, "mifo-lint:", readErr)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mifo-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go requires the facts file to exist even though mifolint's
+	// cross-package facts only flow in standalone mode.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "mifo-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, parseErr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if parseErr != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "mifo-lint:", parseErr)
+			return 1
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := lint.NewInfo()
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "mifo-lint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &lint.Package{
+		PkgPath:   cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	found := 0
+	for _, d := range lint.Run([]*lint.Package{pkg}, lint.Suite()) {
+		// go vet sweeps test variants through the tool as well; the
+		// contracts bind shipped code, so findings inside _test.go files
+		// are dropped to match the standalone mode's scope.
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d.String())
+		found++
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}

@@ -43,19 +43,21 @@ func main() {
 
 	if *genOut != "" {
 		o := experiments.Options{N: *n, Flows: *flows, ArrivalRate: *rate, Seed: *seed}
-		fl, err := traffic.Uniform(traffic.UniformConfig{
+		fl, genErr := traffic.Uniform(traffic.UniformConfig{
 			N: g.N(), Flows: *flows, ArrivalRate: effectiveRate(o), Seed: *seed + 300,
 		})
-		if err != nil {
-			fatal(err)
+		if genErr != nil {
+			fatal(genErr)
 		}
-		f, err := os.Create(*genOut)
-		if err != nil {
-			fatal(err)
+		f, createErr := os.Create(*genOut)
+		if createErr != nil {
+			fatal(createErr)
 		}
-		defer f.Close()
-		if err := traffic.WriteCSV(f, fl); err != nil {
-			fatal(err)
+		if writeErr := traffic.WriteCSV(f, fl); writeErr != nil {
+			fatal(writeErr)
+		}
+		if closeErr := f.Close(); closeErr != nil {
+			fatal(closeErr)
 		}
 		fmt.Printf("wrote %d flows to %s\n", len(fl), *genOut)
 		return
@@ -69,7 +71,7 @@ func main() {
 		fatal(err)
 	}
 	fl, err := traffic.ReadCSV(wf)
-	wf.Close()
+	wf.Close() //mifolint:ignore droppederr read-side close: ReadCSV has already consumed and validated the stream
 	if err != nil {
 		fatal(err)
 	}
@@ -100,8 +102,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := res.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("per-flow results written to %s\n", *results)

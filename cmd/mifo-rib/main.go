@@ -37,7 +37,7 @@ func main() {
 			fatal(ferr)
 		}
 		g, _, err = topo.Parse(f)
-		f.Close()
+		f.Close() //mifolint:ignore droppederr read-side close: Parse has already consumed and validated the stream
 	} else {
 		g, err = topo.Generate(topo.GenConfig{N: *n, Seed: *seed})
 	}

@@ -78,11 +78,15 @@ func main() {
 		rec := audit.NewRecorder(audit.Options{Sample: *fltRate, Writer: w, Registry: reg})
 		o.Recorder = rec
 		finishFlight = func() bool {
-			rec.Close()
+			if err := rec.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: flight recorder:", err)
+			}
 			if err := w.Flush(); err != nil {
 				fmt.Fprintln(os.Stderr, "mifo-sim: flight log:", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: flight log:", err)
+			}
 			st := rec.Stats()
 			fmt.Printf("# flight log: %d records (%d deflections, %d invariant violations) -> %s\n",
 				st.Records, st.Deflections, st.Violations, *fltLog)
@@ -132,8 +136,11 @@ func saveSeries(dir, name string, series ...metrics.Series) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return metrics.WriteGnuplot(f, series...)
+	if err := metrics.WriteGnuplot(f, series...); err != nil {
+		f.Close() //mifolint:ignore droppederr best-effort close on the error path; the write error wins
+		return err
+	}
+	return f.Close()
 }
 
 func run(exp string, o experiments.Options, outDir string) error {

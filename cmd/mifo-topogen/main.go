@@ -87,21 +87,27 @@ func main() {
 		if err := topo.WriteDOT(f, g, "mifo"); err != nil {
 			fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *out != "" {
 		w := os.Stdout
 		if *out != "-" {
-			f, err := os.Create(*out)
-			if err != nil {
-				fatal(err)
+			f, createErr := os.Create(*out)
+			if createErr != nil {
+				fatal(createErr)
 			}
-			defer f.Close()
 			w = f
 		}
 		if err := topo.Write(w, g, nil); err != nil {
 			fatal(err)
+		}
+		if w != os.Stdout {
+			if err := w.Close(); err != nil {
+				fatal(err)
+			}
 		}
 	}
 }

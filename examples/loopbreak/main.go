@@ -81,8 +81,8 @@ func fig2b() {
 	}
 	dep := core.NewDeployment(g, core.Config{ExpandASes: []int{0}})
 	dep.InstallDestination(bgp.Compute(g, 3))
-	if err := dep.SetLinkLoad(0, 1, 1e9); err != nil { // congest the default egress
-		log.Fatal(err)
+	if loadErr := dep.SetLinkLoad(0, 1, 1e9); loadErr != nil { // congest the default egress
+		log.Fatal(loadErr)
 	}
 	dep.Refresh()
 

@@ -19,6 +19,8 @@ import (
 // path"). We implement the prose; the pseudocode's Ialt is a typo (with
 // Ialt the comparison could never detect a bounce, since the sender sits on
 // the default path, not the alternative one).
+//
+//mifo:hotpath
 func (r *Router) Forward(p *Packet, in int) Action {
 	if r.Hop == nil {
 		return r.forward(p, in)
@@ -55,6 +57,7 @@ func (r *Router) Forward(p *Packet, in int) Action {
 	return act
 }
 
+//mifo:hotpath
 func (r *Router) forward(p *Packet, in int) Action {
 	// Lines 1-3: strip the outer IP header of an encapsulated packet and
 	// remember the sender (an iBGP peer).
@@ -124,6 +127,7 @@ func (r *Router) forward(p *Packet, in int) Action {
 	return Action{Verdict: VerdictForward, Port: e.Out}
 }
 
+//mifo:hotpath
 func (r *Router) deflect(k FlowKey) bool {
 	if r.Deflect == nil {
 		return true
@@ -136,6 +140,8 @@ func (r *Router) deflect(k FlowKey) bool {
 // next-hop identity (outer destination router for encap, peer AS for a
 // direct eBGP deflection); bounced distinguishes the iBGP hand-back case
 // from a congestion-triggered deflection.
+//
+//mifo:hotpath
 func (r *Router) countDeflect(typ obs.EventType, p *Packet, port int, via int64, bounced bool) {
 	r.deflections.Add(1)
 	if !r.Trace.Enabled() {

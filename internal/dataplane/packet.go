@@ -20,6 +20,8 @@ type FlowKey struct {
 }
 
 // Hash returns a stable FNV-1a hash of the five-tuple.
+//
+//mifo:hotpath
 func (k FlowKey) Hash() uint32 {
 	const (
 		offset = 2166136261
@@ -117,6 +119,8 @@ const (
 )
 
 // String returns a short reason name.
+//
+//mifo:hotpath
 func (r DropReason) String() string {
 	switch r {
 	case DropNone:
@@ -128,6 +132,7 @@ func (r DropReason) String() string {
 	case DropTTL:
 		return "ttl"
 	default:
+		//mifolint:ignore hotpathalloc unreachable for valid reasons; formats only corrupted values, which already left the fast path
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
 }

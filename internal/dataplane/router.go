@@ -175,6 +175,8 @@ func (r *Router) SetQueueRatio(port int, ratio float64) {
 }
 
 // QueueRatio returns the congestion signal of a port.
+//
+//mifo:hotpath
 func (r *Router) QueueRatio(port int) float64 {
 	return math.Float64frombits(atomic.LoadUint64(&r.Ports[port].queueRatioBits))
 }
@@ -185,6 +187,8 @@ func (r *Router) SetUtilization(port int, bps float64) {
 }
 
 // SpareCapacity returns capacity minus measured load of a port, floored at 0.
+//
+//mifo:hotpath
 func (r *Router) SpareCapacity(port int) float64 {
 	s := r.Ports[port].CapacityBps - math.Float64frombits(atomic.LoadUint64(&r.Ports[port].utilizedBits))
 	if s < 0 {
@@ -194,6 +198,8 @@ func (r *Router) SpareCapacity(port int) float64 {
 }
 
 // Congested reports whether a port's queue ratio crosses the threshold.
+//
+//mifo:hotpath
 func (r *Router) Congested(port int) bool {
 	return r.QueueRatio(port) >= r.CongestionThreshold
 }
@@ -252,6 +258,8 @@ type HopFunc func(p *Packet, h HopInfo)
 
 // lookupEntry resolves the packet's FIB entry the way Forward does:
 // longest-prefix match when a prefix FIB is installed, dense id otherwise.
+//
+//mifo:hotpath
 func (r *Router) lookupEntry(p *Packet) (FIBEntry, bool) {
 	if r.PrefixFIB != nil {
 		return r.PrefixFIB.Lookup(p.Flow.DstAddr)
@@ -262,6 +270,8 @@ func (r *Router) lookupEntry(p *Packet) (FIBEntry, bool) {
 // DropExpired records a TTL-exhausted packet: transports that manage TTL
 // outside Forward (Network.Send, netd, packetsim) route the drop through
 // here so counters, trace and the flight-recorder hook all see it.
+//
+//mifo:hotpath
 func (r *Router) DropExpired(p *Packet, in int) Action {
 	act := r.countDrop(DropTTL, p)
 	if r.Hop != nil {
@@ -276,6 +286,8 @@ func (r *Router) DropExpired(p *Packet, in int) Action {
 }
 
 // hopInfo seeds a HopInfo with the arrival-side context.
+//
+//mifo:hotpath
 func (r *Router) hopInfo(p *Packet, in int) HopInfo {
 	h := HopInfo{
 		Router: r.ID, AS: r.AS, In: in, InKind: Host, FromAS: r.AS,
@@ -292,6 +304,8 @@ func (r *Router) hopInfo(p *Packet, in int) HopInfo {
 
 // countDrop records a drop and traces it, then builds the drop action. It
 // is the single bookkeeping point for every discard the engine decides.
+//
+//mifo:hotpath
 func (r *Router) countDrop(reason DropReason, p *Packet) Action {
 	r.drops[reason].Add(1)
 	if r.Trace.Enabled() {

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// droppederr hunts silently dropped errors in the two shapes the tree
+// sweep (ISSUE 5) targets:
+//
+//   - an error assigned to the blank identifier, in any position:
+//     `_ = w.Flush()`, `n, _ := f()` where the second result is an error;
+//   - an unchecked expression-statement call to a method named Close,
+//     Flush, or Sync that returns an error — the calls whose failure is
+//     the write actually being lost (buffered writers, files).
+//
+// `defer f.Close()` on a read-side file is idiomatic and stays legal
+// (deferred calls are not expression statements). A drop that is truly
+// intended must say so:
+//
+//	//mifolint:ignore droppederr <why the error is unactionable>
+//
+// which is exactly the justification trail the linter exists to record.
+
+// Droppederr returns the dropped-error analyzer.
+func Droppederr() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc:  "errors must not be silently discarded via _ or unchecked Close/Flush/Sync calls",
+		Run:  runDroppederr,
+	}
+}
+
+var flushers = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func runDroppederr(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool { return t != nil && types.Identical(t, errType) }
+
+	// typeAt resolves the type flowing into LHS position i of an
+	// assignment with the given RHS list.
+	typeAt := func(lhsLen int, rhs []ast.Expr, i int) types.Type {
+		if len(rhs) == lhsLen {
+			if tv, ok := info.Types[rhs[i]]; ok {
+				return tv.Type
+			}
+			return nil
+		}
+		if len(rhs) == 1 {
+			tv, ok := info.Types[rhs[0]]
+			if !ok {
+				return nil
+			}
+			if tup, ok := tv.Type.(*types.Tuple); ok && i < tup.Len() {
+				return tup.At(i).Type()
+			}
+		}
+		return nil
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range v.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					if isErr(typeAt(len(v.Lhs), v.Rhs, i)) {
+						pass.Reportf(lhs.Pos(), "error silently discarded with _: handle it, or justify with an ignore directive")
+					}
+				}
+			case *ast.ExprStmt:
+				call, ok := v.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !flushers[fn.Name()] || !isMethod(fn) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				res := sig.Results()
+				if res.Len() == 0 || !isErr(res.At(res.Len()-1).Type()) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s's error is unchecked: a failed %s is the write being lost", exprString(call.Fun), fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,368 @@
+// Package lint is mifolint: a suite of static analyzers that enforce the
+// repository's concurrency and hot-path contracts at build time — the
+// conventions the compiler cannot see but the versioned FIB, the
+// path-copying LPM trie, and the paper's kernel fib_table FE-read /
+// daemon-write split (Section IV) all depend on.
+//
+// The suite mirrors the shape of golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic, testdata corpora with "want" comments) but is built on
+// the standard library alone, loading type information from the build
+// cache's export data, so it runs in a hermetic environment with no module
+// downloads. Should x/tools become available, each Analyzer maps 1:1 onto
+// an *analysis.Analyzer; see xtools.go for the gated extra passes.
+//
+// Contracts enforced (see DESIGN.md "Static invariants"):
+//
+//   - fibtxn: published FIB generations and trie nodes are immutable;
+//     all writes go through the Begin/Set/Commit transaction and
+//     path-copy helpers.
+//   - hotpathalloc: functions annotated //mifo:hotpath do not format,
+//     allocate maps/slices, append to escaping slices, take locks, or
+//     call unannotated project functions.
+//   - obsnames: metric names registered with internal/obs are snake_case
+//     literals with the owning component's prefix, registered at most
+//     once per name across the tree.
+//   - locksafe: no sync.Mutex/RWMutex is held across a channel send, a
+//     generation Commit, or a blocking network/sleep call.
+//
+// A finding can be suppressed — with a recorded justification — by a
+// directive on the offending line or the line above it:
+//
+//	//mifolint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory: an ignore without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// State carries cross-package facts through one Run — the whole-tree
+// aggregation a per-package pass cannot do (e.g. obsnames' duplicate
+// registration check).
+type State struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// NewState returns an empty fact store.
+func NewState() *State { return &State{m: map[string]any{}} }
+
+// Get returns the fact under key, creating it with mk on first use.
+func (s *State) Get(key string, mk func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok {
+		v = mk()
+		s.m[key] = v
+	}
+	return v
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	State    *State
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Analyzer is one named check. Run is invoked once per package; Finish,
+// when set, once after every package has been visited, for whole-run facts.
+type Analyzer struct {
+	Name   string
+	Doc    string
+	Run    func(*Pass)
+	Finish func(*State, func(Diagnostic))
+}
+
+// IgnoreDirective is the comment prefix that suppresses a finding.
+const IgnoreDirective = "//mifolint:ignore"
+
+// HotpathDirective marks a function as hot-path in its doc comment.
+const HotpathDirective = "//mifo:hotpath"
+
+// ignoreRule is one parsed ignore directive.
+type ignoreRule struct {
+	analyzers map[string]bool
+	line      int  // line the directive appears on
+	hasReason bool // directives must say why
+}
+
+// ignoreIndex maps filename -> parsed directives.
+type ignoreIndex map[string][]ignoreRule
+
+// buildIgnoreIndex parses every //mifolint:ignore directive in pkgs.
+// Directives without a reason are reported immediately: a silent
+// suppression defeats the point of recording why a contract is waived.
+func buildIgnoreIndex(pkgs []*Package, report func(Diagnostic)) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, IgnoreDirective) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+					fields := strings.Fields(rest)
+					pos := pkg.Fset.Position(c.Pos())
+					rule := ignoreRule{analyzers: map[string]bool{}, line: pos.Line}
+					if len(fields) > 0 {
+						for _, name := range strings.Split(fields[0], ",") {
+							rule.analyzers[name] = true
+						}
+						rule.hasReason = len(fields) > 1
+					}
+					if len(rule.analyzers) == 0 || !rule.hasReason {
+						report(Diagnostic{
+							Pos:      pos,
+							Message:  "malformed ignore directive: want //mifolint:ignore <analyzer>[,<analyzer>] <reason>",
+							Analyzer: "mifolint",
+						})
+						continue
+					}
+					idx[pos.Filename] = append(idx[pos.Filename], rule)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by a directive on its own line
+// or the line immediately above.
+func (idx ignoreIndex) suppressed(d Diagnostic) bool {
+	for _, r := range idx[d.Pos.Filename] {
+		if (r.line == d.Pos.Line || r.line == d.Pos.Line-1) && r.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Suppression directives are honored; a
+// malformed directive is itself a finding.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var mu sync.Mutex
+	var all []Diagnostic
+	report := func(d Diagnostic) {
+		mu.Lock()
+		all = append(all, d)
+		mu.Unlock()
+	}
+	idx := buildIgnoreIndex(pkgs, report)
+	state := NewState()
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, State: state, report: report})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(state, report)
+		}
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !idx.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// Suite returns the default mifolint analyzer set, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Fibtxn(DefaultFibtxnConfig()),
+		Hotpath(),
+		Obsnames(DefaultObsnamesConfig()),
+		Locksafe(DefaultLocksafeConfig()),
+		Shadow(),
+		Unusedwrite(),
+		Nilness(),
+		Droppederr(),
+	}
+}
+
+// --- small shared helpers ---
+
+// funcKey names a declared function the way the analyzers' allowlists do:
+// "Name" for plain functions, "Recv.Name" for methods (pointer receivers
+// spelled the same as value receivers).
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+// recvTypeName extracts the base type name of a receiver expression,
+// unwrapping pointers and type parameter lists (Txn[V] -> Txn).
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// matchFunc reports whether key (e.g. "Txn.Insert") is covered by the
+// allowlist, which may hold exact keys or "Recv.*" wildcards.
+func matchFunc(allow []string, key string) bool {
+	for _, a := range allow {
+		if a == key {
+			return true
+		}
+		if recv, ok := strings.CutSuffix(a, ".*"); ok {
+			if cur, _, found := strings.Cut(key, "."); found && cur == recv {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedOrAlias resolves t to its named type, unwrapping pointers.
+func namedType(t types.Type) (*types.Named, bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// typeIs reports whether t (possibly behind pointers) is the named type
+// pkgSuffix.typeName, where pkgSuffix matches the end of the import path
+// (so the same analyzer config works for "repro/internal/obs" and a
+// testdata corpus package called "obs"). Generic instantiations match
+// their origin type.
+func typeIs(t types.Type, pkgSuffix, typeName string) bool {
+	n, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	if orig := n.Origin(); orig != nil {
+		n = orig
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != typeName {
+		return false
+	}
+	return pathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// pathHasSuffix matches whole path segments: "internal/obs" matches
+// "repro/internal/obs" but not "repro/internal/xobs".
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// enclosingFunc returns the innermost FuncDecl containing pos, using the
+// precomputed decl list.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// hasDirective reports whether the function's doc comment carries the
+// given directive (e.g. //mifo:hotpath).
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}

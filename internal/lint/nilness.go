@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nilness is a native, syntax-directed sibling of the x/tools SSA-based
+// `nilness` pass (the dependency is intentionally not vendored; see
+// xtools.go). It proves the one shape that needs no dataflow engine:
+// inside the true branch of `if x == nil` (or the else branch of
+// `if x != nil`), with no intervening reassignment of x, a dereference,
+// field/method selection, or index through x must panic.
+
+// Nilness returns the guaranteed-nil-dereference analyzer.
+func Nilness() *Analyzer {
+	return &Analyzer{
+		Name: "nilness",
+		Doc:  "dereference of a variable inside the branch that proved it nil",
+		Run:  runNilness,
+	}
+}
+
+func runNilness(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+
+	// nilComparison decodes `x == nil` / `x != nil` over a pointer-like x.
+	nilComparison := func(cond ast.Expr) (obj types.Object, name string, eq bool) {
+		be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return nil, "", false
+		}
+		x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+		if yid, yok := y.(*ast.Ident); !yok || yid.Name != "nil" {
+			if xid, xok := x.(*ast.Ident); xok && xid.Name == "nil" {
+				x = y
+			} else {
+				return nil, "", false
+			}
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return nil, "", false
+		}
+		o := info.Uses[id]
+		if o == nil {
+			return nil, "", false
+		}
+		switch o.Type().Underlying().(type) {
+		case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+			return o, id.Name, be.Op == token.EQL
+		}
+		return nil, "", false
+	}
+
+	// checkBranch scans the statements executed when obj is known nil,
+	// stopping at any reassignment of obj or early exit.
+	checkBranch := func(obj types.Object, name string, body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		stopped := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if stopped {
+				return false
+			}
+			switch v := n.(type) {
+			case *ast.FuncLit:
+				return false // may run after obj changes
+			case *ast.AssignStmt:
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && info.Uses[id] == obj {
+						stopped = true
+						return false
+					}
+				}
+			case *ast.UnaryExpr:
+				if v.Op == token.AND { // &x is safe, and so is anything under it
+					if id, ok := ast.Unparen(v.X).(*ast.Ident); ok && info.Uses[id] == obj {
+						return false
+					}
+				}
+			case *ast.StarExpr:
+				if id, ok := ast.Unparen(v.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					pass.Reportf(v.Pos(), "nil dereference: this branch is only reached when %q is nil", name)
+				}
+			case *ast.SelectorExpr:
+				id, ok := ast.Unparen(v.X).(*ast.Ident)
+				if !ok || info.Uses[id] != obj {
+					return true
+				}
+				// Selecting through a nil pointer panics; calling a method
+				// with a value receiver on a nil pointer panics at the
+				// implicit dereference too. Methods on the pointer itself
+				// may be legal (nil-receiver methods are a Go idiom), so
+				// only flag field selections and value-receiver methods.
+				if sel, selOK := info.Selections[v]; selOK {
+					if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+						return true
+					}
+					if sel.Kind() == types.FieldVal {
+						pass.Reportf(v.Pos(), "nil dereference: field %s read on %q, which is nil in this branch", v.Sel.Name, name)
+					} else if sel.Kind() == types.MethodVal && sel.Indirect() {
+						if recv := sel.Obj().(*types.Func).Type().(*types.Signature).Recv(); recv != nil {
+							if _, ptrRecv := recv.Type().(*types.Pointer); !ptrRecv {
+								pass.Reportf(v.Pos(), "nil dereference: value method %s called on %q, which is nil in this branch", v.Sel.Name, name)
+							}
+						}
+					}
+				}
+			case *ast.IndexExpr:
+				if id, ok := ast.Unparen(v.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					if _, isMap := obj.Type().Underlying().(*types.Map); !isMap {
+						// Reading a nil map is fine; indexing a nil slice or
+						// dereferencing-for-index a nil pointer panics.
+						pass.Reportf(v.Pos(), "nil index: %q is nil in this branch", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil {
+				return true
+			}
+			obj, name, eq := nilComparison(ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			if eq {
+				checkBranch(obj, name, ifs.Body)
+			} else if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+				checkBranch(obj, name, els)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// obsnames enforces the telemetry naming contract on every metric
+// registered with the internal/obs registry:
+//
+//   - the name must be a compile-time string literal (a name computed at
+//     runtime cannot be audited, and dynamic names explode cardinality);
+//   - it must be snake_case with at least two segments, the first being
+//     the owning component's prefix (netd_*, core_*, audit_*, sim_*...),
+//     so /metrics groups by subsystem;
+//   - each name is registered at exactly one call site across the whole
+//     tree. The obs.Registry deliberately tolerates re-registration at
+//     runtime (shared registries), which is precisely why two call sites
+//     silently aliasing one counter is a bug the linter must catch.
+//
+// The registration methods watched are Counter, Gauge, Histogram and
+// their *Vec variants on obs.Registry.
+
+// ObsnamesConfig parameterizes the obsnames analyzer.
+type ObsnamesConfig struct {
+	// RegistryPkgSuffix locates the registry type (path-suffix match).
+	RegistryPkgSuffix string
+	// RegistryTypeName is the registry's type name.
+	RegistryTypeName string
+	// PrefixOverrides maps a registering package's import-path suffix to
+	// the metric prefixes it may use, when they differ from the package
+	// name (package main cannot be a prefix).
+	PrefixOverrides map[string][]string
+}
+
+// DefaultObsnamesConfig covers repro's internal/obs registry.
+func DefaultObsnamesConfig() ObsnamesConfig {
+	return ObsnamesConfig{
+		RegistryPkgSuffix: "internal/obs",
+		RegistryTypeName:  "Registry",
+		PrefixOverrides: map[string][]string{
+			// The simulator binary registers its experiment metrics as sim_*.
+			"cmd/mifo-sim": {"sim"},
+			// The obs package's own self-metrics, if it ever grows any.
+			"internal/obs": {"obs"},
+		},
+	}
+}
+
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+// metricNameRE: lowercase snake_case, >= 2 segments, digits allowed after
+// the first character of a segment.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+const obsnamesFactKey = "obsnames"
+
+type obsnamesFacts struct {
+	sites map[string][]token.Position // metric name -> registration sites
+}
+
+// Obsnames returns the metric-naming analyzer.
+func Obsnames(cfg ObsnamesConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "obsnames",
+		Doc:  "obs registry metric names must be prefixed snake_case literals, registered once per name",
+	}
+	a.Run = func(pass *Pass) { runObsnames(pass, cfg) }
+	a.Finish = finishObsnames
+	return a
+}
+
+func runObsnames(pass *Pass, cfg ObsnamesConfig) {
+	facts := pass.State.Get(obsnamesFactKey, func() any {
+		return &obsnamesFacts{sites: map[string][]token.Position{}}
+	}).(*obsnamesFacts)
+	info := pass.Pkg.TypesInfo
+
+	allowedPrefixes := []string{pass.Pkg.Name}
+	for suffix, prefixes := range cfg.PrefixOverrides {
+		if pathHasSuffix(pass.Pkg.PkgPath, suffix) {
+			allowedPrefixes = prefixes
+			break
+		}
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			recv, ok := info.Types[sel.X]
+			if !ok || !typeIs(recv.Type, cfg.RegistryPkgSuffix, cfg.RegistryTypeName) {
+				return true
+			}
+			nameArg := call.Args[0]
+			tv, ok := info.Types[nameArg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(nameArg.Pos(), "metric name passed to Registry.%s must be a compile-time string literal", sel.Sel.Name)
+				return true
+			}
+			name, err := strconv.Unquote(tv.Value.ExactString())
+			if err != nil {
+				name = strings.Trim(tv.Value.ExactString(), `"`)
+			}
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(nameArg.Pos(), "metric name %q is not prefixed snake_case (want e.g. %q)", name, allowedPrefixes[0]+"_total")
+				return true
+			}
+			prefix, _, _ := strings.Cut(name, "_")
+			okPrefix := false
+			for _, p := range allowedPrefixes {
+				if prefix == p {
+					okPrefix = true
+					break
+				}
+			}
+			if !okPrefix {
+				pass.Reportf(nameArg.Pos(), "metric name %q must carry this component's prefix %v so exposition groups by subsystem", name, allowedPrefixes)
+				return true
+			}
+			facts.sites[name] = append(facts.sites[name], pass.Pkg.Fset.Position(nameArg.Pos()))
+			return true
+		})
+	}
+}
+
+// finishObsnames reports names registered from more than one call site.
+// The first site (in position order) is treated as the owner; every other
+// site is flagged.
+func finishObsnames(s *State, report func(Diagnostic)) {
+	facts := s.Get(obsnamesFactKey, func() any {
+		return &obsnamesFacts{sites: map[string][]token.Position{}}
+	}).(*obsnamesFacts)
+	for name, sites := range facts.sites {
+		if len(sites) < 2 {
+			continue
+		}
+		owner := sites[0]
+		for _, p := range sites[1:] {
+			if p.Filename == owner.Filename && p.Line == owner.Line {
+				continue
+			}
+			report(Diagnostic{
+				Pos: p,
+				Message: fmt.Sprintf("metric %q is already registered at %s:%d: two call sites silently alias one series",
+					name, owner.Filename, owner.Line),
+				Analyzer: "obsnames",
+			})
+		}
+	}
+}

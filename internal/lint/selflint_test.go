@@ -1,0 +1,25 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepositoryLintsClean runs the full suite over the whole module —
+// the same check `make lint` and CI enforce. A finding here means a
+// contract regression slipped into the tree (or an analyzer grew a false
+// positive; either way it must be resolved before merging).
+func TestRepositoryLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint is not a -short test")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	for _, d := range Run(pkgs, Suite()) {
+		t.Errorf("%s", d)
+	}
+}

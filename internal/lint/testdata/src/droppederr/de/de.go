@@ -1,0 +1,32 @@
+// Package de exercises the dropped-error analyzer.
+package de
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+func produce() (int, error) { return 0, errors.New("x") }
+
+func blanks() {
+	_ = errors.New("dropped") // want `error silently discarded with _`
+	n, _ := produce()         // want `error silently discarded with _`
+	_ = n
+}
+
+func flush(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.Flush() // want `bw\.Flush's error is unchecked: a failed Flush is the write being lost`
+	return bw.Flush()
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func closes(c closer) error {
+	defer c.Close() // deferred closes stay legal: not an expression statement
+	c.Close() // want `c\.Close's error is unchecked`
+	return c.Close()
+}

@@ -1,0 +1,68 @@
+// Package dataplane is a corpus-local model of the versioned FIB. The
+// fibtxn analyzer matches protected types by import-path suffix, so this
+// package stands in for repro/internal/dataplane.
+package dataplane
+
+import "sync/atomic"
+
+type FIBEntry struct{ Out, Alt int }
+
+// fibGen is protected: no function may write its fields after it is built.
+type fibGen struct {
+	gen     uint64
+	entries map[int32]FIBEntry
+}
+
+type FIB struct{ cur atomic.Pointer[fibGen] }
+
+// NewFIB may publish: construction is an allowed Store site.
+func NewFIB() *FIB {
+	f := &FIB{}
+	f.cur.Store(&fibGen{entries: map[int32]FIBEntry{}})
+	return f
+}
+
+// FIBTx stages changes in a transaction-private map, so Set never touches
+// a published generation.
+type FIBTx struct {
+	f       *FIB
+	entries map[int32]FIBEntry
+}
+
+func (f *FIB) Begin() *FIBTx {
+	cur := f.cur.Load()
+	entries := make(map[int32]FIBEntry, len(cur.entries))
+	for k, v := range cur.entries {
+		entries[k] = v
+	}
+	return &FIBTx{f: f, entries: entries}
+}
+
+// Set writes the staging map, not a generation: no finding.
+func (tx *FIBTx) Set(dst int32, e FIBEntry) { tx.entries[dst] = e }
+
+// Commit is the other allowed Store site; the composite literal builds the
+// next generation before anyone can see it.
+func (tx *FIBTx) Commit() {
+	tx.f.cur.Store(&fibGen{gen: tx.f.cur.Load().gen + 1, entries: tx.entries})
+}
+
+// badDirectWrite is the regression case the analyzer exists for: patching
+// one entry of the live generation in place, racing every concurrent
+// lock-free Lookup.
+func badDirectWrite(f *FIB, dst int32, e FIBEntry) {
+	g := f.cur.Load()
+	g.entries[dst] = e // want `write to fibGen\.entries outside the transaction API`
+}
+
+func badFieldWrite(f *FIB) {
+	f.cur.Load().gen++ // want `write to fibGen\.gen outside the transaction API`
+}
+
+func badPublish(f *FIB, g *fibGen) {
+	f.cur.Store(g) // want `FIB\.cur\.Store outside`
+}
+
+func badAddress(f *FIB) *map[int32]FIBEntry {
+	return &f.cur.Load().entries // want `taking the address of fibGen\.entries outside the transaction API`
+}

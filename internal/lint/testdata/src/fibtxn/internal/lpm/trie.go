@@ -1,0 +1,56 @@
+// Package lpm is a corpus-local model of the path-copying trie: node
+// fields may only be written inside Txn methods, and the table root is
+// published only by New and Txn.Commit.
+package lpm
+
+import "sync/atomic"
+
+type node struct {
+	child [2]*node
+	set   bool
+	val   int
+}
+
+type gen struct{ root *node }
+
+type Table struct{ cur atomic.Pointer[gen] }
+
+// New publishes the empty generation: allowed.
+func New() *Table {
+	t := &Table{}
+	t.cur.Store(&gen{})
+	return t
+}
+
+type Txn struct {
+	t    *Table
+	root *node
+}
+
+func (t *Table) Begin() *Txn { return &Txn{t: t, root: &node{}} }
+
+// Insert writes nodes the transaction owns: Txn.* is allowlisted.
+func (x *Txn) Insert(v int) {
+	n := x.root
+	n.set = true
+	n.val = v
+}
+
+// Commit publishes: allowed.
+func (x *Txn) Commit() {
+	x.t.cur.Store(&gen{root: x.root})
+}
+
+// patchLive mutates published trie nodes in place — the torn-read hazard
+// the path-copy discipline exists to prevent.
+func patchLive(t *Table, v int) {
+	n := t.cur.Load().root
+	n.val = v               // want `write to node\.val outside the transaction API`
+	n.set = true            // want `write to node\.set outside the transaction API`
+	n.child[0] = &node{}    // want `write to node\.child outside the transaction API`
+}
+
+// rogueStore republishes from outside the transaction API.
+func rogueStore(t *Table, g *gen) {
+	t.cur.Store(g) // want `Table\.cur\.Store outside`
+}

@@ -1,0 +1,53 @@
+// Package hp exercises the //mifo:hotpath cost budget.
+package hp
+
+import (
+	"fmt"
+	"sync"
+)
+
+type ring struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+// helper is deliberately unannotated: calling it from a hot-path function
+// must be flagged, because the budget is transitive.
+func helper() int { return 1 }
+
+// fastCallee has opted into the budget.
+//
+//mifo:hotpath
+func fastCallee() int { return 2 }
+
+// fast is part of the per-packet path and violates every rule once.
+//
+//mifo:hotpath
+func fast(r *ring, ch chan int, note string) {
+	_ = fmt.Sprintf("x=%d", 1) // want `hot path calls fmt\.Sprintf`
+	_ = map[string]int{}       // want `hot path allocates a map literal`
+	_ = []int{1, 2}            // want `hot path allocates a slice literal`
+	_ = make([]int, 4)         // want `hot path calls make`
+	_ = note + "!"             // want `hot path concatenates strings`
+	r.mu.Lock()                // want `hot path takes Mutex\.Lock`
+	ch <- 1                    // want `hot path sends on a channel`
+	r.buf = append(r.buf, 1)   // want `hot path appends to an escaping slice`
+	_ = helper()               // want `fast is //mifo:hotpath but calls hp\.helper, which is not annotated`
+	_ = fastCallee()
+	r.mu.Unlock()
+}
+
+// fastLocalAppend shows the allowed shape: a buffer that never escapes.
+//
+//mifo:hotpath
+func fastLocalAppend(seed []int) int {
+	buf := seed
+	buf = append(buf, 1)
+	return len(buf)
+}
+
+// slow is unannotated: everything is allowed here.
+func slow() {
+	_ = fmt.Sprintf("%d", helper())
+	_ = make([]int, 8)
+}

@@ -1,0 +1,22 @@
+// Package ig exercises the ignore-directive machinery: a directive with a
+// reason suppresses, on its own line or the line above; a finding without
+// one still fires.
+package ig
+
+import (
+	"bufio"
+	"io"
+)
+
+func flush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.Flush() //mifolint:ignore droppederr demo sink: the read side of the pipe is already gone
+	bw.Reset(w)
+	bw.Flush() // want `bw\.Flush's error is unchecked`
+	bw.Reset(w)
+	//mifolint:ignore droppederr the directive on the line above covers the next line
+	bw.Flush()
+	bw.Reset(w)
+	//mifolint:ignore shadow a directive for another analyzer does not suppress this one
+	bw.Flush() // want `bw\.Flush's error is unchecked`
+}

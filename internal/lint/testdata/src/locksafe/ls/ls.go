@@ -1,0 +1,98 @@
+// Package ls exercises lock-scope hygiene: no mutex held across a send,
+// a Commit, or a blocking call.
+package ls
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type table struct{ mu sync.Mutex }
+
+// Commit is a publish point by name (LocksafeConfig.CommitMethods).
+func (t *table) Commit() {}
+
+type guarded struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// badSend holds the lock across a blocking send.
+func (g *guarded) badSend() {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while holding g\.mu`
+	g.mu.Unlock()
+}
+
+// badCommit is the regression case: a lock held across Commit nests the
+// committer's writer lock under ours and orders locks by accident.
+func (g *guarded) badCommit(t *table) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t.Commit() // want `call to t\.Commit while holding g\.mu`
+}
+
+func (g *guarded) badSleep() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding g\.mu`
+	g.mu.Unlock()
+}
+
+func (g *guarded) badDial() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	conn, err := net.Dial("tcp", "localhost:1") // want `blocking call to net\.Dial while holding g\.mu`
+	if err == nil && conn != nil {
+		conn = nil
+	}
+}
+
+func (g *guarded) badWait() {
+	g.mu.Lock()
+	g.wg.Wait() // want `call to g\.wg\.Wait while holding g\.mu`
+	g.mu.Unlock()
+}
+
+// okSelect: a send in a select with a default arm cannot block.
+func (g *guarded) okSelect() {
+	g.mu.Lock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+	g.mu.Unlock()
+}
+
+// okUnlockFirst releases before the send.
+func (g *guarded) okUnlockFirst() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 1
+}
+
+// okCommitAfterUnlock: the RWMutex variant, released before Commit.
+type rwGuarded struct {
+	mu sync.RWMutex
+}
+
+func (g *rwGuarded) okCommitAfterUnlock(t *table) {
+	g.mu.RLock()
+	g.mu.RUnlock()
+	t.Commit()
+}
+
+// okLit: a function literal runs later, under its own lock state.
+func (g *guarded) okLit() func() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return func() { g.ch <- 1 }
+}
+
+// okGo: a spawned goroutine does not hold the creator's locks.
+func (g *guarded) okGo() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() { g.ch <- 1 }()
+}

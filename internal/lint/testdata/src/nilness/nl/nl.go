@@ -1,0 +1,63 @@
+// Package nl exercises the guaranteed-nil-dereference analyzer.
+package nl
+
+type box struct{ n int }
+
+func (b box) Value() int { return b.n }
+func (b *box) Ptr() *box { return b }
+
+func deref(p *box) int {
+	if p == nil {
+		return (*p).n // want `nil dereference: this branch is only reached when "p" is nil`
+	}
+	return p.n
+}
+
+func field(p *box) int {
+	if p != nil {
+		return p.n
+	} else {
+		return p.n // want `nil dereference: field n read on "p", which is nil in this branch`
+	}
+}
+
+func valueMethod(p *box) int {
+	if p == nil {
+		q := p.Ptr() // a pointer-receiver method may legally run on nil
+		_ = q
+		return p.Value() // want `nil dereference: value method Value called on "p", which is nil in this branch`
+	}
+	return 0
+}
+
+func index(s []int) int {
+	if s == nil {
+		return s[0] // want `nil index: "s" is nil in this branch`
+	}
+	return s[0]
+}
+
+// okReassign: the branch repairs p before using it.
+func okReassign(p *box) int {
+	if p == nil {
+		p = &box{}
+		return p.n
+	}
+	return p.n
+}
+
+// okMap: reading a nil map is defined behavior.
+func okMap(m map[string]int) int {
+	if m == nil {
+		return m["k"]
+	}
+	return m["k"]
+}
+
+// okAddress: taking the address of a nil variable is safe.
+func okAddress(p *box) **box {
+	if p == nil {
+		return &p
+	}
+	return nil
+}

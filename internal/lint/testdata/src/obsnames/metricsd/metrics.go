@@ -1,0 +1,23 @@
+// Package metricsd registers metrics; its names must carry the metricsd_
+// prefix, be snake_case literals, and be registered exactly once.
+package metricsd
+
+import "obsnames/internal/obs"
+
+const goodName = "metricsd_frames_total"
+
+func register(r *obs.Registry, dyn string) {
+	r.Counter("metricsd_packets_total", "ok")
+	r.Gauge("metricsd_queue_depth", "ok")
+	r.Histogram("metricsd_wait_seconds", "ok", []float64{1, 2})
+	r.CounterVec("metricsd_drops_total", "ok", "reason")
+	r.Counter(goodName, "a named constant is still a compile-time literal")
+
+	r.Counter("Bad_Name", "x")            // want `not prefixed snake_case`
+	r.Counter("packets", "x")             // want `not prefixed snake_case`
+	r.Counter("other_packets_total", "x") // want `must carry this component's prefix`
+	r.Counter(dyn, "x")                   // want `must be a compile-time string literal`
+
+	r.Counter("metricsd_dup_total", "first site owns the name")
+	r.Counter("metricsd_dup_total", "x") // want `already registered at`
+}

@@ -1,0 +1,52 @@
+// Package sh exercises the shadow analyzer: an inner := that splits one
+// variable into two is only reported when the stale outer value is read
+// again afterwards.
+package sh
+
+import "errors"
+
+func work() (int, error) { return 1, nil }
+
+// bad loses the inner write: the := inside the if creates a second err,
+// and the stale outer one is what gets returned.
+func bad() error {
+	v, err := work()
+	if v > 0 {
+		v2, err := work() // want `declaration of "err" shadows declaration at line \d+; the outer variable is used again at line \d+`
+		_ = v2
+		_ = err
+	}
+	return err
+}
+
+// badRange: the range clause can shadow too.
+func badRange(errs []error) error {
+	_, err := work()
+	for _, err := range errs { // want `declaration of "err" shadows declaration at line \d+`
+		_ = err
+	}
+	return err
+}
+
+// okGuard is the idiom the write-exclusion exists for: the outer err is
+// never read after the inner scopes, only overwritten.
+func okGuard() {
+	_, err := work()
+	if err != nil {
+		return
+	}
+	if err := errors.New("inner"); err != nil {
+		_ = err
+	}
+}
+
+// okDifferentType: shadowing with a different type is not the
+// split-variable bug this pass hunts.
+func okDifferentType() error {
+	_, err := work()
+	{
+		err := "not an error"
+		_ = err
+	}
+	return err
+}

@@ -1,0 +1,52 @@
+// Package uw exercises the write-through-copy analyzer.
+package uw
+
+type item struct {
+	n    int
+	done bool
+}
+
+// badRange mutates the iteration copy; the slice never changes.
+func badRange(items []item) {
+	for _, it := range items {
+		it.done = true // want `write to field done of range value copy "it" is lost`
+	}
+}
+
+// mark mutates the receiver copy, which dies at return.
+func (i item) mark() {
+	i.done = true // want `write to field done of value receiver "i" is lost`
+}
+
+// okIndex writes through the element.
+func okIndex(items []item) {
+	for idx := range items {
+		items[idx].done = true
+	}
+}
+
+// okReadAfter: the copy is read again, so the write is meaningful.
+func okReadAfter(items []item) int {
+	s := 0
+	for _, it := range items {
+		it.n *= 2
+		s += it.n
+	}
+	return s
+}
+
+// okAliased: the copy's address escapes; source order cannot prove the
+// write unobserved.
+func okAliased(items []item) *item {
+	var last *item
+	for _, it := range items {
+		it.done = true
+		last = &it
+	}
+	return last
+}
+
+// okPointerReceiver writes through the pointer: visible to the caller.
+func (i *item) markPtr() {
+	i.done = true
+}

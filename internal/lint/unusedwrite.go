@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unusedwrite is a native, syntax-directed sibling of the x/tools
+// `unusedwrite` SSA pass (the dependency is intentionally not vendored;
+// see xtools.go). It covers the two shapes that account for nearly every
+// real instance of the bug — writing through a copy:
+//
+//   - a field assignment to a non-pointer `range` value variable, whose
+//     copy dies at the end of the iteration;
+//   - a field assignment to a non-pointer method receiver, whose copy
+//     dies at return;
+//
+// in both cases only when the written-to variable is never read again
+// afterwards, so the write provably changed nothing anyone can see.
+
+// Unusedwrite returns the write-through-copy analyzer.
+func Unusedwrite() *Analyzer {
+	return &Analyzer{
+		Name: "unusedwrite",
+		Doc:  "field write to a non-pointer copy (range variable or value receiver) that is never read again",
+		Run:  runUnusedwrite,
+	}
+}
+
+func runUnusedwrite(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	uses := usesOf(pass.Pkg)
+
+	// isStructValue reports whether obj is a plain (non-pointer) struct
+	// variable — the only kind whose field writes can vanish with a copy.
+	isStructValue := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		_, isStruct := v.Type().Underlying().(*types.Struct)
+		return isStruct
+	}
+
+	// copies collects, per enclosing scope node, the variables that are
+	// doomed copies: range values and value receivers, with the position
+	// after which a read would rescue the write.
+	type doomed struct {
+		obj   types.Object
+		scope ast.Node // reads must happen before scope.End()
+		kind  string
+	}
+	var candidates []doomed
+
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				id := fd.Recv.List[0].Names[0]
+				if obj := info.Defs[id]; obj != nil && isStructValue(obj) {
+					candidates = append(candidates, doomed{obj: obj, scope: fd, kind: "value receiver"})
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || rs.Tok != token.DEFINE || rs.Value == nil {
+					return true
+				}
+				if id, ok := rs.Value.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil && isStructValue(obj) {
+						candidates = append(candidates, doomed{obj: obj, scope: rs, kind: "range value copy"})
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	byObj := map[types.Object]doomed{}
+	for _, c := range candidates {
+		byObj[c.obj] = c
+	}
+	// An aliased copy is out of scope for this pass: taking the address
+	// (explicitly, or implicitly as a pointer-method receiver) creates a
+	// second window onto the variable that source order cannot track.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.UnaryExpr:
+				if v.Op == token.AND {
+					if id, ok := ast.Unparen(v.X).(*ast.Ident); ok {
+						delete(byObj, info.Uses[id])
+					}
+				}
+			case *ast.SelectorExpr:
+				if s, ok := info.Selections[v]; ok && s.Kind() == types.MethodVal {
+					if id, ok := v.X.(*ast.Ident); ok {
+						delete(byObj, info.Uses[id])
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Uses[id]
+				c, doomedVar := byObj[obj]
+				if !doomedVar {
+					continue
+				}
+				if s, selOK := info.Selections[sel]; !selOK || s.Kind() != types.FieldVal {
+					continue
+				}
+				// A later read of the copy (including returning it or
+				// re-ranging it) makes the write meaningful.
+				rescued := false
+				for _, use := range uses[obj] {
+					if use > as.End() && use < c.scope.End() {
+						rescued = true
+						break
+					}
+				}
+				if !rescued {
+					pass.Reportf(lhs.Pos(), "write to field %s of %s %q is lost: the copy is never read again (use a pointer or an index expression)",
+						sel.Sel.Name, c.kind, id.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package lint
+
+// This repository builds hermetically: golang.org/x/tools is not in the
+// module graph, so the canonical go/analysis framework and its SSA-based
+// passes (nilness, unusedwrite) cannot be imported here. mifolint
+// therefore ships in two layers:
+//
+//  1. Native analyzers (this package) on the standard library's go/ast +
+//     go/types, loading dependency types from `go list -export` build
+//     cache export data. The x/tools passes the suite is contracted to
+//     bundle — shadow, unusedwrite, nilness — are reimplemented natively
+//     at the precision the syntax tree supports (see shadow.go,
+//     unusedwrite.go, nilness.go for exactly which sub-shapes each
+//     covers). These run everywhere, including this container.
+//
+//  2. An upgrade path: every Analyzer here is shaped 1:1 after
+//     analysis.Analyzer (Name/Doc/Run over a Pass, testdata corpora with
+//     "want" comments under testdata/src), so once x/tools is vendored
+//     the native analyzers can be re-registered with
+//     x/tools/go/analysis/unitchecker verbatim and the lite passes
+//     swapped for the full SSA versions:
+//
+//	// With golang.org/x/tools vendored, cmd/mifo-lint/main.go becomes:
+//	//
+//	//	unitchecker.Main(
+//	//	    fibtxn.Analyzer, hotpathalloc.Analyzer,
+//	//	    obsnames.Analyzer, locksafe.Analyzer,
+//	//	    nilness.Analyzer, unusedwrite.Analyzer, shadow.Analyzer,
+//	//	)
+//
+// Gating rather than stubbing keeps `make lint` honest: nothing in the
+// default build pretends to run an SSA pass it does not have.

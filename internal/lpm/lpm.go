@@ -66,6 +66,8 @@ func checkPrefix(addr uint32, bits int) error {
 
 // Lookup returns the value of the longest prefix covering addr. It is
 // wait-free: an atomic root load and a walk over immutable nodes.
+//
+//mifo:hotpath
 func (t *Table[V]) Lookup(addr uint32) (V, bool) {
 	var best V
 	found := false

@@ -129,6 +129,8 @@ func NewTrace(capacity int) *Trace {
 
 // Enabled reports whether Emit records anything. It is the cheap guard to
 // place before building an Event (and especially its Note) on hot paths.
+//
+//mifo:hotpath
 func (t *Trace) Enabled() bool { return t != nil && t.enabled.Load() }
 
 // SetEnabled turns the trace on or off. Disabling does not clear the ring.
@@ -143,14 +145,18 @@ func (t *Trace) SetEnabled(on bool) {
 // ring has zero capacity (a zero-value Trace that was force-enabled):
 // callers are encouraged to check Enabled() first, but Emit must never
 // panic on a trace that cannot store anything.
+//
+//mifo:hotpath
 func (t *Trace) Emit(e Event) {
 	if t == nil || !t.enabled.Load() || cap(t.buf) == 0 {
 		return
 	}
+	//mifolint:ignore hotpathalloc only reached when tracing is on; the Enabled() guard keeps the default path lock-free
 	t.mu.Lock()
 	t.total++
 	e.Seq = t.total
 	if len(t.buf) < cap(t.buf) {
+		//mifolint:ignore hotpathalloc bounded by the ring capacity: append only runs until the ring fills once, then the branch overwrites in place
 		t.buf = append(t.buf, e)
 	} else {
 		t.buf[int((t.total-1)%uint64(cap(t.buf)))] = e
