@@ -30,8 +30,11 @@ race:
 	$(GO) test -race ./...
 
 # The flight recorder's concurrency surface: hop hooks fire from simulator
-# workers and netd receive loops while analysis reads stats.
+# workers and netd receive loops while the batcher drains rings, seals
+# Merkle batches, and answers Stats/Flush/Close barriers. Stress the async
+# sink's own tests first, then the packages that drive it.
 audit-race:
+	$(GO) test -race -count=5 -run 'Recorder|Merkle|Proof|Verify' ./internal/audit
 	$(GO) test -race -count=2 ./internal/audit ./internal/dataplane ./internal/netsim ./internal/packetsim ./internal/netd
 
 # The versioned-FIB concurrency surface: wait-free lookups racing batched

@@ -26,17 +26,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig5a, fig5b, fig5c, fig6a, fig6b, fig6c, fig7, fig8, fig9, resilience, strategy, overhead, errorbars, sensitivity, all")
-		n       = flag.Int("n", 1000, "topology size (ASes); the paper uses 44340")
-		flows   = flag.Int("flows", 5000, "number of flows; the paper uses 1e6")
-		pairs   = flag.Int("pairs", 1000, "sampled AS pairs for fig7")
-		rate    = flag.Float64("rate", 0, "flow arrival rate per second (0 = auto-scale the paper's 100/s)")
-		seed    = flag.Int64("seed", 1, "PRNG seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
-		outDir  = flag.String("o", "", "also write each experiment's curves as gnuplot data files into this directory")
-		dbgAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6061) while experiments run")
-		fltLog  = flag.String("flight-log", "", "record every simulated path as a JSONL flight record here (analyse with mifo-trace)")
-		fltRate = flag.Float64("flight-sample", 1.0, "fraction of flows the flight recorder samples (0..1]")
+		exp      = flag.String("exp", "all", "experiment: table1, fig5a, fig5b, fig5c, fig6a, fig6b, fig6c, fig7, fig8, fig9, resilience, strategy, overhead, errorbars, sensitivity, all")
+		n        = flag.Int("n", 1000, "topology size (ASes); the paper uses 44340")
+		flows    = flag.Int("flows", 5000, "number of flows; the paper uses 1e6")
+		pairs    = flag.Int("pairs", 1000, "sampled AS pairs for fig7")
+		rate     = flag.Float64("rate", 0, "flow arrival rate per second (0 = auto-scale the paper's 100/s)")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		outDir   = flag.String("o", "", "also write each experiment's curves as gnuplot data files into this directory")
+		dbgAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6061) while experiments run")
+		fltLog   = flag.String("flight-log", "", "record every simulated path as a JSONL flight record here (analyse with mifo-trace)")
+		fltRate  = flag.Float64("flight-sample", 1.0, "fraction of flows the flight recorder samples (0..1]")
+		fltBatch = flag.Int("flight-batch", 0, "records per Merkle-sealed batch in the flight log (0 = default 256)")
+		fltFlush = flag.Duration("flight-flush", 0, "seal a partial flight-log batch after this long (0 = default 50ms)")
+		fltPlain = flag.Bool("flight-plain", false, "stream flight records without Merkle seals (not verifiable with mifo-trace -verify)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -75,7 +78,10 @@ func main() {
 			os.Exit(1)
 		}
 		w := bufio.NewWriterSize(f, 1<<20)
-		rec := audit.NewRecorder(audit.Options{Sample: *fltRate, Writer: w, Registry: reg})
+		rec := audit.NewRecorder(audit.Options{
+			Sample: *fltRate, Writer: w, Registry: reg,
+			BatchSize: *fltBatch, FlushInterval: *fltFlush, Plain: *fltPlain,
+		})
 		o.Recorder = rec
 		finishFlight = func() bool {
 			if err := rec.Close(); err != nil {
@@ -88,8 +94,8 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mifo-sim: flight log:", err)
 			}
 			st := rec.Stats()
-			fmt.Printf("# flight log: %d records (%d deflections, %d invariant violations) -> %s\n",
-				st.Records, st.Deflections, st.Violations, *fltLog)
+			fmt.Printf("# flight log: %d records in %d sealed batches (%d deflections, %d invariant violations, %d shed) -> %s\n",
+				st.Records, st.BatchesSealed, st.Deflections, st.Violations, st.RingDropped, *fltLog)
 			if st.Violations > 0 {
 				fmt.Fprintf(os.Stderr, "mifo-sim: AUDIT FAILURE: %d invariant violations recorded\n", st.Violations)
 			}

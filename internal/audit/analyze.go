@@ -10,7 +10,9 @@ import (
 )
 
 // ReadRecords streams a JSONL flight log, invoking fn per record. Blank
-// lines are skipped; a malformed line aborts with an error naming it.
+// lines and batch-seal commitment lines are skipped (seals are consumed
+// by VerifyLog, not by analysis); a malformed line aborts with an error
+// naming it.
 func ReadRecords(r io.Reader, fn func(Record) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -24,6 +26,9 @@ func ReadRecords(r io.Reader, fn func(Record) error) error {
 		var rec Record
 		if err := json.Unmarshal(b, &rec); err != nil {
 			return fmt.Errorf("audit: line %d: %w", line, err)
+		}
+		if rec.Kind == KindSeal {
+			continue
 		}
 		if err := fn(rec); err != nil {
 			return err

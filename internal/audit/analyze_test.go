@@ -38,6 +38,9 @@ func buildLog(t *testing.T) []byte {
 		{Router: -1, AS: 2, Edge: EdgeDown, Tag: true, Deflected: true},
 		{Router: -1, AS: 7, Edge: EdgeNone},
 	}})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
 	return buf.Bytes()
 }
 

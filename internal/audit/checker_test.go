@@ -16,10 +16,10 @@ func TestCheckerTable(t *testing.T) {
 		{
 			name: "clean up-across-down path",
 			steps: []Step{
-				hop(1, EdgeUp, true),      // stub origin to provider
-				hop(2, EdgeAcross, true),  // entered from customer: may peer
-				hop(3, EdgeDown, false),   // entered from peer: down only
-				hop(4, EdgeNone, false),   // delivered
+				hop(1, EdgeUp, true),     // stub origin to provider
+				hop(2, EdgeAcross, true), // entered from customer: may peer
+				hop(3, EdgeDown, false),  // entered from peer: down only
+				hop(4, EdgeNone, false),  // delivered
 			},
 		},
 		{

@@ -1,0 +1,210 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// This file is the commitment layer of the tamper-evident flight log.
+//
+// Every finished journey becomes a Merkle leaf: the SHA-256 of its
+// canonical JSON encoding (the record with the commitment fields Batch,
+// Leaf and Proof cleared, so the hash covers exactly what the auditor
+// observed, not where the sealer happened to place it). The batcher
+// groups leaves into batches, computes a Merkle root per batch, and
+// writes a BatchSeal line whose seal hash chains to the previous batch's
+// seal — so a verifier that replays the log can detect any mutated,
+// dropped, injected or reordered record, and any batch removed from the
+// middle of the log. Removing a *suffix* of whole batches is the one
+// edit a self-contained log cannot expose; pinning the head seal
+// (mifo-trace -verify -head) closes that hole.
+//
+// Leaf and interior hashes are domain-separated (0x00 / 0x01 prefixes)
+// so an interior node can never be replayed as a leaf (the classic
+// second-preimage trick against naive Merkle trees). Odd nodes promote
+// to the next level unhashed, RFC 6962 style trees are not required —
+// the proof layout below matches the promotion rule exactly.
+
+// KindSeal marks a batch-seal line in the JSONL stream. Seal lines are
+// commitments, not journeys: ReadRecords skips them, VerifyLog consumes
+// them.
+const KindSeal = "batch-seal"
+
+// BatchSeal is the commitment line written after each sealed batch.
+type BatchSeal struct {
+	Kind string `json:"kind"`
+	// Batch is the 1-based batch number; Records the number of journey
+	// lines sealed by this batch (the lines since the previous seal).
+	Batch   uint64 `json:"batch"`
+	Records int    `json:"records"`
+	// Root is the hex Merkle root over the batch's leaf hashes; Prev is
+	// the previous batch's Seal (all-zero for the first batch).
+	Root string `json:"root"`
+	Prev string `json:"prev"`
+	// Seal is H(0x02 || prev || root || batch || records) — the chain
+	// link the next batch commits to, and the log's head when this is
+	// the last seal.
+	Seal string `json:"seal"`
+}
+
+// leafHash computes the canonical leaf hash of a record: SHA-256 over a
+// 0x00 domain byte and the record's JSON encoding with Batch, Leaf and
+// Proof cleared. The shallow copy shares Steps/Violations, which the
+// encoder only reads.
+func leafHash(r *Record) ([32]byte, error) {
+	c := *r
+	c.Batch, c.Leaf, c.Proof = 0, 0, nil
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(b)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out, nil
+}
+
+// hashPair hashes an interior node from its two children.
+func hashPair(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// sealHash computes the chain link committed by a BatchSeal.
+func sealHash(prev, root [32]byte, batch uint64, records int) [32]byte {
+	var b [8]byte
+	h := sha256.New()
+	h.Write([]byte{0x02})
+	h.Write(prev[:])
+	h.Write(root[:])
+	binary.BigEndian.PutUint64(b[:], batch)
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(records))
+	h.Write(b[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleLevels builds the tree bottom-up: levels[0] is the leaves,
+// the last level has exactly one node (the root). A level's trailing odd
+// node promotes to the next level unhashed. Empty input yields nil.
+func merkleLevels(leaves [][32]byte) [][][32]byte {
+	if len(leaves) == 0 {
+		return nil
+	}
+	levels := [][][32]byte{leaves}
+	for len(levels[len(levels)-1]) > 1 {
+		cur := levels[len(levels)-1]
+		next := make([][32]byte, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 < len(cur) {
+				next = append(next, hashPair(cur[i], cur[i+1]))
+			} else {
+				next = append(next, cur[i])
+			}
+		}
+		levels = append(levels, next)
+	}
+	return levels
+}
+
+// merkleRoot returns the root of a built tree.
+func merkleRoot(levels [][][32]byte) [32]byte {
+	return levels[len(levels)-1][0]
+}
+
+// proofSteps collects the sibling hashes on the path from leaf i to the
+// root — the inclusion proof. Levels where the node was promoted (no
+// sibling) contribute nothing, matching VerifyInclusion's width walk.
+func proofSteps(levels [][][32]byte, i int) [][32]byte {
+	var steps [][32]byte
+	for _, lvl := range levels[:len(levels)-1] {
+		if sib := i ^ 1; sib < len(lvl) {
+			steps = append(steps, lvl[sib])
+		}
+		i >>= 1
+	}
+	return steps
+}
+
+// VerifyInclusion replays an inclusion proof: it folds the sibling
+// hashes over the leaf at index (of a batch with n leaves) and reports
+// whether the result is root. The fold mirrors merkleLevels' promotion
+// rule, so proof length is checked implicitly — extra or missing
+// siblings fail.
+func VerifyInclusion(leaf [32]byte, index, n int, proof [][32]byte, root [32]byte) bool {
+	if index < 0 || index >= n {
+		return false
+	}
+	h := leaf
+	for i, width := index, n; width > 1; {
+		if sib := i ^ 1; sib < width {
+			if len(proof) == 0 {
+				return false
+			}
+			if i&1 == 0 {
+				h = hashPair(h, proof[0])
+			} else {
+				h = hashPair(proof[0], h)
+			}
+			proof = proof[1:]
+		}
+		i >>= 1
+		width = (width + 1) / 2
+	}
+	return len(proof) == 0 && h == root
+}
+
+// hexHash renders a hash for the JSONL stream.
+func hexHash(h [32]byte) string { return hex.EncodeToString(h[:]) }
+
+// parseHash parses a hex hash from the stream.
+func parseHash(s string) ([32]byte, bool) {
+	var out [32]byte
+	if len(s) != 2*len(out) {
+		return out, false
+	}
+	if _, err := hex.Decode(out[:], []byte(s)); err != nil {
+		return out, false
+	}
+	return out, true
+}
+
+// proofHex renders an inclusion proof for embedding in a record.
+func proofHex(steps [][32]byte) []string {
+	if len(steps) == 0 {
+		return nil
+	}
+	out := make([]string, len(steps))
+	for i, s := range steps {
+		out[i] = hexHash(s)
+	}
+	return out
+}
+
+// parseProof parses an embedded proof; ok is false on any malformed
+// sibling hash.
+func parseProof(ss []string) ([][32]byte, bool) {
+	if len(ss) == 0 {
+		return nil, true
+	}
+	out := make([][32]byte, len(ss))
+	for i, s := range ss {
+		h, ok := parseHash(s)
+		if !ok {
+			return nil, false
+		}
+		out[i] = h
+	}
+	return out, true
+}

@@ -3,7 +3,10 @@ package audit
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dataplane"
 	"repro/internal/obs"
@@ -17,13 +20,37 @@ type Options struct {
 	// of the flow identity so every packet of a chosen flow is captured.
 	// Values <= 0 or >= 1 record everything.
 	Sample float64
-	// Writer, when non-nil, receives one JSON record per finished journey
-	// (JSONL). The recorder serializes writes; buffering and closing are
-	// the caller's job.
+	// Writer, when non-nil, receives the JSONL flight log. By default the
+	// log is tamper-evident: journeys are written in Merkle-sealed batches
+	// (each record carries its batch number, leaf index and inclusion
+	// proof, followed by a batch-seal line chained to the previous seal)
+	// and land on the writer only when a batch seals — call Flush or Close
+	// to make buffered journeys durable. The recorder serializes writes;
+	// buffering and closing the underlying file are the caller's job.
 	Writer io.Writer
+	// Plain disables sealing: journeys stream as bare JSONL the moment
+	// they finish, with no batches, proofs or seal lines. Plain logs
+	// cannot be verified by mifo-trace -verify.
+	Plain bool
+	// BatchSize is the number of journeys per sealed batch (default 256).
+	BatchSize int
+	// FlushInterval bounds how long a finished journey may sit in an
+	// unsealed batch before a partial batch is sealed anyway
+	// (default 50ms).
+	FlushInterval time.Duration
+	// Segments is the number of ring segments hop records are sharded
+	// over, rounded up to a power of two (default 8). SegmentCap is each
+	// segment's capacity in hop records, rounded up to a power of two
+	// (default 2048). A full segment sheds records rather than stalling
+	// the forwarding engine.
+	Segments   int
+	SegmentCap int
 	// Registry, when non-nil, exports audit_records_total,
-	// audit_steps_total, audit_deflections_total and
-	// audit_violations_total{invariant}.
+	// audit_steps_total, audit_deflections_total,
+	// audit_violations_total{invariant}, and the async-sink pipeline
+	// metrics (queue depth/high-water gauges, dropped/backpressure
+	// counters, flush-latency and batch-size histograms, batches-sealed
+	// and proofs-emitted counters).
 	Registry *obs.Registry
 	// Trace, when non-nil and enabled, receives an EvCustom event per
 	// violation, so live debug endpoints surface breaches immediately.
@@ -47,14 +74,32 @@ type Stats struct {
 	// Violations is the total breach count; ByInvariant splits it.
 	Violations  uint64
 	ByInvariant [numInvariants]uint64
+	// RingDropped counts hop records shed because a ring segment stayed
+	// full (the journeys they belonged to are incomplete or missing);
+	// Backpressure counts ring-full events where the producer yielded
+	// once before retrying.
+	RingDropped  uint64
+	Backpressure uint64
+	// BatchesSealed counts Merkle-sealed batches written to the sink.
+	BatchesSealed uint64
 }
 
-// pktKey stitches hook callbacks into per-packet journeys.
-type pktKey struct {
-	flow dataplane.FlowKey
-	dst  int32
-	id   uint16
+// asmKey stitches drained hop records back into journeys. kind keeps
+// packet journeys and flow paths in separate key spaces; the packet side
+// keys on the full five-tuple plus destination and packet ID, so hash
+// collisions can never merge two journeys.
+type asmKey struct {
+	flow   dataplane.FlowKey
+	flowID uint64
+	dst    int32
+	pktID  uint16
+	kind   uint8
 }
+
+const (
+	keyPacket uint8 = iota
+	keyPath
+)
 
 // journey is one in-flight record plus its online checker.
 type journey struct {
@@ -62,34 +107,115 @@ type journey struct {
 	chk Checker
 }
 
+// batcher commands.
+type cmdKind uint8
+
+const (
+	// cmdDrain: drain every ring segment and return (Stats barrier).
+	cmdDrain cmdKind = iota
+	// cmdSeal: drain, then seal the current partial batch (Flush).
+	cmdSeal
+	// cmdClose: drain, finalize in-flight journeys as lost, seal the
+	// final partial batch, and stop the batcher.
+	cmdClose
+)
+
+type cmd struct {
+	kind cmdKind
+	done chan error
+}
+
 // Recorder is the packet flight recorder: it accumulates journeys from
 // dataplane hop hooks (packet granularity) and from netsim path installs
 // (flow granularity), checks invariants online, and streams finished
-// records as JSONL. All methods are safe for concurrent use.
+// records as a tamper-evident JSONL log. All methods are safe for
+// concurrent use.
+//
+// The record path is asynchronous: hooks write fixed-size hop records
+// into lock-free ring segments (see ring.go) and return; a background
+// batcher drains the rings, assembles journeys, runs the invariant
+// checker, and seals Merkle-committed batches (see merkle.go). Stats,
+// Flush, Close and ViolatingRecords are synchronization barriers — each
+// drains everything the hooks pushed before the call.
 type Recorder struct {
 	sampleLimit uint32
+	segs        []segment
+	segMask     uint64
 
-	mu       sync.Mutex
-	enc      *json.Encoder
-	inflight map[pktKey]*journey
-	free     []*journey // recycled journeys
-	seq      uint64
-	stats    Stats
-	keep     int
-	bad      []Record
+	// Hot-side shed accounting; mirrored into Stats and obs by the
+	// batcher so producers touch nothing but these atomics.
+	hotDropped      atomic.Int64
+	hotBackpressure atomic.Int64
 
-	recTotal, stepTotal, deflTotal *obs.Counter
-	violVec                        *obs.CounterVec
-	trace                          *obs.Trace
+	closed atomic.Bool
+	cmds   chan cmd
+	done   chan struct{}
+
+	// mu guards the snapshot state shared with callers: stats, retained
+	// violating records, and the first sink error.
+	mu      sync.Mutex
+	stats   Stats
+	bad     []Record
+	sinkErr error
+
+	// Batcher-owned state; no locking (single goroutine).
+	enc        *json.Encoder
+	plain      bool
+	batchSize  int
+	flushEvery time.Duration
+	poll       time.Duration
+	inflight   map[asmKey]*journey
+	// One-entry journey cache: consecutive hops of the same journey (the
+	// overwhelmingly common drain pattern, since a journey's hops are
+	// pushed back to back into one segment) skip the inflight map
+	// entirely. lastInMap records whether lastJ was also spilled to the
+	// map after an interleaving journey touched the cache.
+	lastKey                     asmKey
+	lastJ                       *journey
+	lastInMap                   bool
+	pool                        []*journey
+	seq                         uint64
+	batch                       []*journey
+	batchStart                  time.Time
+	batchNo                     uint64
+	prevSeal                    [32]byte
+	leaves                      [][32]byte
+	highwater                   uint64
+	pubDropped, pubBackpressure int64
+	keep                        int
+	trace                       *obs.Trace
+
+	recTotal, stepTotal, deflTotal  *obs.Counter
+	violVec                         *obs.CounterVec
+	droppedTotal, backpressureTotal *obs.Counter
+	batchesSealed, proofsEmitted    *obs.Counter
+	queueDepth, queueHigh           *obs.Gauge
+	flushSeconds, batchRecords      *obs.Histogram
 }
 
-// NewRecorder builds a recorder from options.
+// ceilPow2 rounds n up to a power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewRecorder builds a recorder from options and starts its batcher.
+// Call Close when done; a recorder that is never closed leaks one
+// goroutine and leaves its last partial batch unsealed.
 func NewRecorder(o Options) *Recorder {
 	rec := &Recorder{
 		sampleLimit: ^uint32(0),
-		inflight:    make(map[pktKey]*journey),
+		inflight:    make(map[asmKey]*journey),
 		keep:        o.KeepViolating,
 		trace:       o.Trace,
+		plain:       o.Plain,
+		batchSize:   o.BatchSize,
+		flushEvery:  o.FlushInterval,
+		cmds:        make(chan cmd),
+		done:        make(chan struct{}),
 	}
 	if o.Sample > 0 && o.Sample < 1 {
 		rec.sampleLimit = uint32(o.Sample * float64(^uint32(0)))
@@ -100,73 +226,143 @@ func NewRecorder(o Options) *Recorder {
 	if rec.keep == 0 {
 		rec.keep = 16
 	}
+	if rec.batchSize <= 0 {
+		rec.batchSize = 256
+	}
+	if rec.flushEvery <= 0 {
+		rec.flushEvery = 50 * time.Millisecond
+	}
+	rec.poll = rec.flushEvery / 16
+	if rec.poll < 200*time.Microsecond {
+		rec.poll = 200 * time.Microsecond
+	}
+	if rec.poll > 2*time.Millisecond {
+		rec.poll = 2 * time.Millisecond
+	}
+	nseg := o.Segments
+	if nseg <= 0 {
+		nseg = 8
+	}
+	nseg = ceilPow2(nseg)
+	segCap := o.SegmentCap
+	if segCap <= 0 {
+		segCap = 2048
+	}
+	segCap = ceilPow2(segCap)
+	rec.segs = make([]segment, nseg)
+	rec.segMask = uint64(nseg - 1)
+	for i := range rec.segs {
+		rec.segs[i].init(segCap)
+	}
 	if o.Registry != nil {
 		rec.recTotal = o.Registry.Counter("audit_records_total", "flight records finalized")
 		rec.stepTotal = o.Registry.Counter("audit_steps_total", "hops recorded across all journeys")
 		rec.deflTotal = o.Registry.Counter("audit_deflections_total", "deflected steps recorded")
 		rec.violVec = o.Registry.CounterVec("audit_violations_total", "invariant violations found by the online auditor", "invariant")
+		rec.droppedTotal = o.Registry.Counter("audit_records_dropped_total", "hop records shed because a ring segment stayed full")
+		rec.backpressureTotal = o.Registry.Counter("audit_backpressure_total", "ring-full events where a producer yielded before retrying")
+		rec.batchesSealed = o.Registry.Counter("audit_batches_sealed", "Merkle-sealed batches written to the flight log")
+		rec.proofsEmitted = o.Registry.Counter("audit_proofs_emitted", "per-journey inclusion proofs written to the flight log")
+		rec.queueDepth = o.Registry.Gauge("audit_queue_depth", "hop records pending in the async ring segments")
+		rec.queueHigh = o.Registry.Gauge("audit_queue_highwater", "highest pending hop-record count observed")
+		rec.flushSeconds = o.Registry.Histogram("audit_flush_seconds", "time from first buffered journey to batch seal",
+			[]float64{0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1})
+		rec.batchRecords = o.Registry.Histogram("audit_batch_records", "journeys per sealed batch",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 	}
+	go rec.run()
 	return rec
 }
 
 // Sampled reports whether the flow with the given 32-bit identity hash is
 // recorded under the sampling knob.
+//
+//mifo:hotpath
 func (rec *Recorder) Sampled(flowHash uint32) bool { return flowHash <= rec.sampleLimit }
 
 // mix64 spreads a flow ID over 32 bits (splitmix64 finalizer) so integer
 // flow IDs sample uniformly.
-func mix64(x uint64) uint32 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return uint32(x >> 32)
+func mix64(x uint64) uint32 { return uint32(jmix(x) >> 32) }
+
+// segFor picks the ring segment for a journey key. Every record of one
+// journey hashes to the same segment, so the batcher observes its hops
+// in push order.
+//
+//mifo:hotpath
+func (rec *Recorder) segFor(flowID uint64, dst int32, id uint16) *segment {
+	k := flowID ^ uint64(uint32(dst))<<29 ^ uint64(id)<<47
+	return &rec.segs[jmix(k)&rec.segMask]
+}
+
+// offer pushes one record group into seg with the shed policy: on a full
+// ring, count backpressure, yield once to let the batcher drain, retry,
+// and drop (counted) if the ring is still full. The forwarding engine
+// never blocks on the recorder.
+//
+//mifo:hotpath
+func (rec *Recorder) offer(seg *segment, h *hopRec, rest []hopRec) {
+	if seg.tryPushN(h, rest) {
+		return
+	}
+	rec.hotBackpressure.Add(1)
+	runtime.Gosched()
+	if seg.tryPushN(h, rest) {
+		return
+	}
+	rec.hotDropped.Add(int64(1 + len(rest)))
+}
+
+// hookHop is the per-forwarding-decision record path: one flow hash, a
+// sampling compare, one fixed-size hopRec copied into a lock-free ring.
+// No allocation, no lock, no formatting — mifolint enforces the budget
+// transitively from here.
+//
+//mifo:hotpath
+func (rec *Recorder) hookHop(p *dataplane.Packet, h dataplane.HopInfo) {
+	fh := p.Flow.Hash()
+	if !rec.Sampled(fh) {
+		return
+	}
+	hr := hopRec{
+		op:      opHop,
+		flow:    p.Flow,
+		flowID:  uint64(fh),
+		dst:     p.Dst,
+		pktID:   p.ID,
+		verdict: h.Verdict,
+		reason:  h.Reason,
+		step:    stepFromHop(h),
+	}
+	rec.offer(rec.segFor(hr.flowID, hr.dst, hr.pktID), &hr, nil)
 }
 
 // RouterHook returns the hop hook to install as dataplane.Router.Hop on
-// every instrumented router. Hops of unsampled flows cost one hash and a
-// compare.
+// every instrumented router. Hops of unsampled flows cost one flow hash
+// and a compare; sampled hops cost one ring push.
 func (rec *Recorder) RouterHook() dataplane.HopFunc {
-	return func(p *dataplane.Packet, h dataplane.HopInfo) {
-		if !rec.Sampled(p.Flow.Hash()) {
-			return
-		}
-		rec.mu.Lock()
-		defer rec.mu.Unlock()
-		k := pktKey{flow: p.Flow, dst: p.Dst, id: p.ID}
-		j, ok := rec.inflight[k]
-		if !ok {
-			j = rec.begin(KindPacket, uint64(p.Flow.Hash()), p.Dst, 0)
-			j.rec.PktID = p.ID
-			rec.inflight[k] = j
-		}
-		rec.appendStep(j, stepFromHop(h))
-		switch h.Verdict {
-		case dataplane.VerdictDeliver:
-			delete(rec.inflight, k)
-			rec.finish(j, VerdictDelivered, "")
-		case dataplane.VerdictDrop:
-			delete(rec.inflight, k)
-			rec.finish(j, VerdictDropped, h.Reason.String())
-		}
-	}
+	return rec.hookHop
 }
 
 // Lost finalizes an in-flight packet journey that will never see another
 // hop — a tx-queue drop, or a transport giving up. It is a no-op for
-// unsampled or unknown packets.
+// unsampled or unknown packets. detail should be a constant string; it
+// is carried by reference through the ring.
+//
+//mifo:hotpath
 func (rec *Recorder) Lost(p *dataplane.Packet, detail string) {
-	if !rec.Sampled(p.Flow.Hash()) {
+	fh := p.Flow.Hash()
+	if !rec.Sampled(fh) {
 		return
 	}
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	k := pktKey{flow: p.Flow, dst: p.Dst, id: p.ID}
-	if j, ok := rec.inflight[k]; ok {
-		delete(rec.inflight, k)
-		rec.finish(j, VerdictLost, detail)
+	hr := hopRec{
+		op:     opLost,
+		flow:   p.Flow,
+		flowID: uint64(fh),
+		dst:    p.Dst,
+		pktID:  p.ID,
+		detail: detail,
 	}
+	rec.offer(rec.segFor(hr.flowID, hr.dst, hr.pktID), &hr, nil)
 }
 
 // PathRecord is a flow-granularity journey: one path installed for one
@@ -182,18 +378,36 @@ type PathRecord struct {
 }
 
 // RecordPath records one installed path, running the invariant checker
-// over it. Sampling applies per flow.
+// over it off the hot path. Sampling applies per flow. The whole path is
+// pushed as one atomic ring block, so a path is either recorded complete
+// or shed complete.
 func (rec *Recorder) RecordPath(pr PathRecord) {
 	if !rec.Sampled(mix64(pr.Flow)) {
 		return
 	}
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	j := rec.begin(KindPath, pr.Flow, pr.Dst, pr.BaselineLen)
-	for _, s := range pr.Steps {
-		rec.appendStep(j, s)
+	head := hopRec{
+		op:       opPath,
+		flags:    flagPathFirst,
+		flowID:   pr.Flow,
+		dst:      pr.Dst,
+		baseline: int32(pr.BaselineLen),
 	}
-	rec.finish(j, VerdictPath, "")
+	var rest []hopRec
+	if len(pr.Steps) == 0 {
+		head.flags |= flagPathLast | flagPathEmpty
+	} else {
+		head.step = pr.Steps[0]
+		if len(pr.Steps) == 1 {
+			head.flags |= flagPathLast
+		} else {
+			rest = make([]hopRec, len(pr.Steps)-1)
+			for i := range rest {
+				rest[i] = hopRec{op: opPath, flowID: pr.Flow, dst: pr.Dst, step: pr.Steps[i+1]}
+			}
+			rest[len(rest)-1].flags = flagPathLast
+		}
+	}
+	rec.offer(rec.segFor(pr.Flow, pr.Dst, 0), &head, rest)
 }
 
 // PathSteps converts an AS-level path into checker steps against the
@@ -219,6 +433,8 @@ func PathSteps(g *topo.Graph, path []int, deflectedAt int) []Step {
 
 // ClassOf maps a Gao-Rexford relationship to the edge class of an egress
 // towards that neighbor.
+//
+//mifo:hotpath
 func ClassOf(rel topo.Rel) EdgeClass {
 	switch rel {
 	case topo.Customer:
@@ -233,6 +449,8 @@ func ClassOf(rel topo.Rel) EdgeClass {
 }
 
 // stepFromHop translates the dataplane's view of a decision into a step.
+//
+//mifo:hotpath
 func stepFromHop(h dataplane.HopInfo) Step {
 	s := Step{
 		Router:       int32(h.Router),
@@ -256,34 +474,161 @@ func stepFromHop(h dataplane.HopInfo) Step {
 	return s
 }
 
-// begin starts a journey (callers hold mu).
+// run is the batcher: it drains the ring segments on a short poll,
+// assembles journeys, seals batches on size or deadline, and services
+// the barrier commands behind Stats, Flush and Close.
+func (rec *Recorder) run() {
+	defer close(rec.done)
+	tick := time.NewTicker(rec.poll)
+	defer tick.Stop()
+	for {
+		select {
+		case c := <-rec.cmds:
+			rec.drainAll()
+			if c.kind == cmdClose {
+				rec.loseInflight()
+			}
+			if c.kind != cmdDrain {
+				rec.sealBatch()
+			}
+			rec.publish()
+			c.done <- rec.firstSinkErr()
+			if c.kind == cmdClose {
+				return
+			}
+		case <-tick.C:
+			rec.drainAll()
+			rec.maybeSeal()
+			rec.publish()
+		}
+	}
+}
+
+// drainAll sweeps every segment until one full sweep finds nothing,
+// bounded so a saturating producer cannot starve the command channel.
+func (rec *Recorder) drainAll() {
+	for sweep := 0; sweep < 1024; sweep++ {
+		var depth uint64
+		for i := range rec.segs {
+			depth += rec.segs[i].pending()
+		}
+		if depth > rec.highwater {
+			rec.highwater = depth
+		}
+		n := 0
+		for i := range rec.segs {
+			n += rec.segs[i].drain(rec.process)
+		}
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// lookup resolves a journey through the one-entry cache, then the map.
+func (rec *Recorder) lookup(k asmKey) (*journey, bool) {
+	if rec.lastJ != nil && rec.lastKey == k {
+		return rec.lastJ, true
+	}
+	j, ok := rec.inflight[k]
+	return j, ok
+}
+
+// track makes j the cached journey, spilling the previous occupant to
+// the map. inMap says whether j is (also) in the map already.
+func (rec *Recorder) track(k asmKey, j *journey, inMap bool) {
+	if rec.lastJ != nil && rec.lastKey != k && !rec.lastInMap {
+		rec.inflight[rec.lastKey] = rec.lastJ
+	}
+	rec.lastKey, rec.lastJ, rec.lastInMap = k, j, inMap
+}
+
+// retire removes a finished journey from the cache and, if spilled, the
+// map. In the steady single-journey-at-a-time pattern this touches no
+// map at all.
+func (rec *Recorder) retire(k asmKey) {
+	if rec.lastJ != nil && rec.lastKey == k {
+		if rec.lastInMap {
+			delete(rec.inflight, k)
+		}
+		rec.lastJ = nil
+		return
+	}
+	delete(rec.inflight, k)
+}
+
+// process folds one drained hop record into its journey.
+func (rec *Recorder) process(h *hopRec) {
+	switch h.op {
+	case opHop:
+		k := asmKey{kind: keyPacket, flow: h.flow, flowID: h.flowID, dst: h.dst, pktID: h.pktID}
+		j, ok := rec.lookup(k)
+		if !ok {
+			j = rec.begin(KindPacket, h.flowID, h.dst, 0)
+			j.rec.PktID = h.pktID
+			rec.track(k, j, false)
+		} else if rec.lastJ != j || rec.lastKey != k {
+			rec.track(k, j, true)
+		}
+		rec.appendStep(j, h.step)
+		switch h.verdict {
+		case dataplane.VerdictDeliver:
+			rec.retire(k)
+			rec.finish(j, VerdictDelivered, "")
+		case dataplane.VerdictDrop:
+			rec.retire(k)
+			rec.finish(j, VerdictDropped, h.reason.String())
+		}
+	case opLost:
+		k := asmKey{kind: keyPacket, flow: h.flow, flowID: h.flowID, dst: h.dst, pktID: h.pktID}
+		if j, ok := rec.lookup(k); ok {
+			rec.retire(k)
+			rec.finish(j, VerdictLost, h.detail)
+		}
+	case opPath:
+		k := asmKey{kind: keyPath, flowID: h.flowID, dst: h.dst}
+		if h.flags&flagPathFirst != 0 {
+			rec.track(k, rec.begin(KindPath, h.flowID, h.dst, int(h.baseline)), false)
+		}
+		j, ok := rec.lookup(k)
+		if !ok {
+			return // head was shed with its tail; cannot happen with atomic pushes
+		}
+		if h.flags&flagPathEmpty == 0 {
+			rec.appendStep(j, h.step)
+		}
+		if h.flags&flagPathLast != 0 {
+			rec.retire(k)
+			rec.finish(j, VerdictPath, "")
+		}
+	}
+}
+
+// begin starts a journey from the pool (batcher only).
 func (rec *Recorder) begin(kind string, flow uint64, dst int32, baseline int) *journey {
 	var j *journey
-	if n := len(rec.free); n > 0 {
-		j = rec.free[n-1]
-		rec.free = rec.free[:n-1]
+	if n := len(rec.pool); n > 0 {
+		j = rec.pool[n-1]
+		rec.pool = rec.pool[:n-1]
 	} else {
 		j = &journey{}
 	}
-	rec.seq++
 	j.rec = Record{
-		Seq: rec.seq, Kind: kind, Flow: flow, Dst: dst,
+		Kind: kind, Flow: flow, Dst: dst,
 		BaselineLen: baseline, Steps: j.rec.Steps[:0],
 	}
 	j.chk.Reset()
 	return j
 }
 
-// appendStep records a hop and checks it online (callers hold mu).
+// appendStep records a hop and checks it online (batcher only).
 func (rec *Recorder) appendStep(j *journey, s Step) {
 	j.rec.Steps = append(j.rec.Steps, s)
-	rec.stats.Steps++
 	if rec.stepTotal != nil {
 		rec.stepTotal.Inc()
 	}
 	if s.Deflected {
 		j.rec.Deflections++
-		rec.stats.Deflections++
 		if rec.deflTotal != nil {
 			rec.deflTotal.Inc()
 		}
@@ -296,10 +641,9 @@ func (rec *Recorder) appendStep(j *journey, s Step) {
 	}
 }
 
-// noteViolation publishes one breach to stats, metrics and trace.
+// noteViolation publishes one breach to metrics and trace (stats are
+// folded in at finish time, under the snapshot lock).
 func (rec *Recorder) noteViolation(j *journey, v Violation) {
-	rec.stats.Violations++
-	rec.stats.ByInvariant[v.Invariant]++
 	if rec.violVec != nil {
 		rec.violVec.With(v.Invariant.String()).Inc()
 	}
@@ -316,21 +660,24 @@ func (rec *Recorder) noteViolation(j *journey, v Violation) {
 }
 
 // finish finalizes a journey: copies violations into the record, updates
-// stats, writes JSONL, and recycles the journey (callers hold mu).
+// the stats snapshot, and hands the record to the sink — immediately in
+// plain mode, via the current batch in sealed mode (batcher only).
 func (rec *Recorder) finish(j *journey, verdict, reason string) {
 	j.rec.Verdict = verdict
 	j.rec.Reason = reason
-	if vs := j.chk.Violations(); len(vs) > 0 {
+	rec.seq++
+	j.rec.Seq = rec.seq
+	vs := j.chk.Violations()
+	if len(vs) > 0 {
 		j.rec.Violations = append([]Violation(nil), vs...)
-		if rec.keep > 0 && len(rec.bad) < rec.keep {
-			bad := j.rec
-			bad.Steps = append([]Step(nil), j.rec.Steps...)
-			rec.bad = append(rec.bad, bad)
-		}
 	} else {
 		j.rec.Violations = nil
 	}
+
+	rec.mu.Lock()
 	rec.stats.Records++
+	rec.stats.Steps += uint64(len(j.rec.Steps))
+	rec.stats.Deflections += uint64(j.rec.Deflections)
 	switch verdict {
 	case VerdictDelivered:
 		rec.stats.Delivered++
@@ -341,38 +688,216 @@ func (rec *Recorder) finish(j *journey, verdict, reason string) {
 	case VerdictPath:
 		rec.stats.Paths++
 	}
+	for _, v := range vs {
+		rec.stats.Violations++
+		rec.stats.ByInvariant[v.Invariant]++
+	}
+	if len(vs) > 0 && rec.keep > 0 && len(rec.bad) < rec.keep {
+		bad := j.rec
+		bad.Steps = append([]Step(nil), j.rec.Steps...)
+		rec.bad = append(rec.bad, bad)
+	}
+	rec.mu.Unlock()
+
 	if rec.recTotal != nil {
 		rec.recTotal.Inc()
 	}
-	if rec.enc != nil {
-		rec.enc.Encode(&j.rec) // best-effort, like the data plane itself
+	if rec.enc == nil {
+		rec.recycle(j)
+		return
 	}
-	rec.free = append(rec.free, j)
+	if rec.plain {
+		if err := rec.enc.Encode(&j.rec); err != nil {
+			rec.noteSinkErr(err)
+		}
+		rec.recycle(j)
+		return
+	}
+	if len(rec.batch) == 0 {
+		rec.batchStart = time.Now()
+	}
+	rec.batch = append(rec.batch, j)
+	if len(rec.batch) >= rec.batchSize {
+		rec.sealBatch()
+	}
 }
 
-// Close finalizes every journey still in flight (verdict "lost"). The
-// recorder stays usable afterwards; Close exists so short-lived runs do
-// not leak half-recorded packets.
-func (rec *Recorder) Close() error {
+// recycle returns a journey to the pool (batcher only).
+func (rec *Recorder) recycle(j *journey) {
+	j.rec.Violations = nil
+	j.rec.Proof = nil
+	rec.pool = append(rec.pool, j)
+}
+
+// sealBatch commits the current batch: canonical leaf hashes, Merkle
+// root, per-record inclusion proofs, and the chained seal line (batcher
+// only; no-op when nothing is buffered or the sink is plain/absent).
+func (rec *Recorder) sealBatch() {
+	n := len(rec.batch)
+	if n == 0 || rec.enc == nil || rec.plain {
+		return
+	}
+	rec.leaves = rec.leaves[:0]
+	for _, j := range rec.batch {
+		lh, err := leafHash(&j.rec)
+		if err != nil {
+			rec.noteSinkErr(err)
+		}
+		rec.leaves = append(rec.leaves, lh)
+	}
+	levels := merkleLevels(rec.leaves)
+	root := merkleRoot(levels)
+	rec.batchNo++
+	for i, j := range rec.batch {
+		j.rec.Batch = rec.batchNo
+		j.rec.Leaf = i
+		j.rec.Proof = proofHex(proofSteps(levels, i))
+		if err := rec.enc.Encode(&j.rec); err != nil {
+			rec.noteSinkErr(err)
+		}
+	}
+	sh := sealHash(rec.prevSeal, root, rec.batchNo, n)
+	seal := BatchSeal{
+		Kind: KindSeal, Batch: rec.batchNo, Records: n,
+		Root: hexHash(root), Prev: hexHash(rec.prevSeal), Seal: hexHash(sh),
+	}
+	if err := rec.enc.Encode(&seal); err != nil {
+		rec.noteSinkErr(err)
+	}
+	rec.prevSeal = sh
+	for _, j := range rec.batch {
+		rec.recycle(j)
+	}
+	rec.batch = rec.batch[:0]
+
+	if rec.batchesSealed != nil {
+		rec.batchesSealed.Inc()
+		rec.proofsEmitted.Add(int64(n))
+		rec.flushSeconds.Observe(time.Since(rec.batchStart).Seconds())
+		rec.batchRecords.Observe(float64(n))
+	}
 	rec.mu.Lock()
-	defer rec.mu.Unlock()
+	rec.stats.BatchesSealed++
+	rec.mu.Unlock()
+}
+
+// maybeSeal seals a partial batch whose oldest journey has waited past
+// the flush deadline (batcher only).
+func (rec *Recorder) maybeSeal() {
+	if len(rec.batch) > 0 && time.Since(rec.batchStart) >= rec.flushEvery {
+		rec.sealBatch()
+	}
+}
+
+// loseInflight finalizes every journey still being assembled — cached
+// and mapped (batcher only; Close path).
+func (rec *Recorder) loseInflight() {
+	if j := rec.lastJ; j != nil {
+		if rec.lastInMap {
+			delete(rec.inflight, rec.lastKey)
+		}
+		rec.lastJ = nil
+		rec.finish(j, VerdictLost, "in flight at recorder close")
+	}
 	for k, j := range rec.inflight {
 		delete(rec.inflight, k)
 		rec.finish(j, VerdictLost, "in flight at recorder close")
 	}
-	return nil
 }
 
-// Stats returns a snapshot of the recorder's counters.
+// publish mirrors the hot-side shed counters and queue gauges into the
+// stats snapshot and the obs registry (batcher only).
+func (rec *Recorder) publish() {
+	d := rec.hotDropped.Load()
+	bp := rec.hotBackpressure.Load()
+	rec.mu.Lock()
+	rec.stats.RingDropped = uint64(d)
+	rec.stats.Backpressure = uint64(bp)
+	rec.mu.Unlock()
+	if rec.droppedTotal == nil {
+		return
+	}
+	rec.droppedTotal.Add(d - rec.pubDropped)
+	rec.pubDropped = d
+	rec.backpressureTotal.Add(bp - rec.pubBackpressure)
+	rec.pubBackpressure = bp
+	var depth uint64
+	for i := range rec.segs {
+		depth += rec.segs[i].pending()
+	}
+	rec.queueDepth.Set(float64(depth))
+	rec.queueHigh.Set(float64(rec.highwater))
+}
+
+// noteSinkErr retains the first sink error (batcher only).
+func (rec *Recorder) noteSinkErr(err error) {
+	rec.mu.Lock()
+	if rec.sinkErr == nil {
+		rec.sinkErr = err
+	}
+	rec.mu.Unlock()
+}
+
+// firstSinkErr snapshots the retained sink error.
+func (rec *Recorder) firstSinkErr() error {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.sinkErr
+}
+
+// command runs one barrier command through the batcher; after Close it
+// degrades to reporting the retained sink error.
+func (rec *Recorder) command(kind cmdKind) error {
+	c := cmd{kind: kind, done: make(chan error, 1)}
+	select {
+	case rec.cmds <- c:
+		return <-c.done
+	case <-rec.done:
+		return rec.firstSinkErr()
+	}
+}
+
+// Flush drains everything the hooks have pushed, seals the current
+// partial batch, and returns the first sink error seen so far.
+func (rec *Recorder) Flush() error {
+	return rec.command(cmdSeal)
+}
+
+// Close drains every ring segment, finalizes journeys still in flight
+// (verdict "lost"), seals the final partial batch, stops the batcher,
+// and returns the first sink error. Hooks left installed after Close are
+// harmless: their pushes land in the rings and are never drained.
+func (rec *Recorder) Close() error {
+	if rec.closed.Swap(true) {
+		return rec.command(cmdDrain)
+	}
+	return rec.command(cmdClose)
+}
+
+// Stats drains everything the hooks have pushed (without sealing) and
+// returns a snapshot of the recorder's counters.
 func (rec *Recorder) Stats() Stats {
+	c := cmd{kind: cmdDrain, done: make(chan error, 1)}
+	select {
+	case rec.cmds <- c:
+		<-c.done
+	case <-rec.done:
+	}
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	return rec.stats
 }
 
 // ViolatingRecords returns up to KeepViolating retained records that had
-// violations, for post-mortem inspection without a JSONL sink.
+// violations, for post-mortem inspection without a JSONL sink. Like
+// Stats, it is a drain barrier.
 func (rec *Recorder) ViolatingRecords() []Record {
+	c := cmd{kind: cmdDrain, done: make(chan error, 1)}
+	select {
+	case rec.cmds <- c:
+		<-c.done
+	case <-rec.done:
+	}
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	return append([]Record(nil), rec.bad...)

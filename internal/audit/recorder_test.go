@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dataplane"
 	"repro/internal/obs"
@@ -55,7 +56,11 @@ func TestRecorderPacketJourney(t *testing.T) {
 		t.Fatalf("audit_deflections_total = %v, want 1", got)
 	}
 
-	// The JSONL stream must round-trip through the reader.
+	// The JSONL stream must round-trip through the reader. Flush is the
+	// durability barrier: it seals the partial batch onto the writer.
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	var recs []Record
 	if err := ReadRecords(&buf, func(r Record) error { recs = append(recs, r); return nil }); err != nil {
 		t.Fatal(err)
@@ -213,6 +218,9 @@ func TestRecordPathAndPathSteps(t *testing.T) {
 	var buf bytes.Buffer
 	rec := NewRecorder(Options{Writer: &buf})
 	rec.RecordPath(PathRecord{Flow: 42, Dst: 4, BaselineLen: 4, Steps: steps})
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	st := rec.Stats()
 	if st.Paths != 1 || st.Deflections != 1 || st.Violations != 0 {
 		t.Fatalf("stats = %+v", st)
@@ -227,6 +235,181 @@ func TestRecordPathAndPathSteps(t *testing.T) {
 	}
 	if recs[0].BaselineLen != 4 || recs[0].ASPathLen() != 5 {
 		t.Fatalf("baseline/len = %d/%d", recs[0].BaselineLen, recs[0].ASPathLen())
+	}
+}
+
+// failWriter fails every write after the first `after`.
+type failWriter struct {
+	after  int
+	writes int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.after {
+		return 0, errSinkDown
+	}
+	return len(p), nil
+}
+
+var errSinkDown = &sinkDownError{}
+
+type sinkDownError struct{}
+
+func (*sinkDownError) Error() string { return "sink down" }
+
+// TestRecorderCloseReturnsSinkError: Close must drain, attempt the final
+// seal, and surface the first sink error instead of swallowing it.
+func TestRecorderCloseReturnsSinkError(t *testing.T) {
+	w := &failWriter{after: 0}
+	rec := NewRecorder(Options{Writer: w})
+	hook := rec.RouterHook()
+	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 3}, Dst: 3}
+	hook(p, dataplane.HopInfo{Router: 0, AS: 3, Out: -1, Verdict: dataplane.VerdictDeliver})
+	if err := rec.Close(); err != errSinkDown {
+		t.Fatalf("Close = %v, want the sink error", err)
+	}
+	// The error stays visible on later calls.
+	if err := rec.Close(); err != errSinkDown {
+		t.Fatalf("second Close = %v, want the retained sink error", err)
+	}
+	if err := rec.Flush(); err != errSinkDown {
+		t.Fatalf("Flush after Close = %v, want the retained sink error", err)
+	}
+}
+
+// TestRecorderCloseSealsFinalBatch: a journey pushed moments before
+// Close must be drained from the rings, sealed into a final partial
+// batch, and be verifiable — the Close ordering contract.
+func TestRecorderCloseSealsFinalBatch(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(Options{Writer: &buf, BatchSize: 1 << 20, FlushInterval: time.Hour})
+	hook := rec.RouterHook()
+	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 3}, Dst: 3}
+	hook(p, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	hook(p, dataplane.HopInfo{Router: 1, AS: 3, Out: -1, Verdict: dataplane.VerdictDeliver})
+	// Leave a second journey dangling so Close also finalizes it as lost.
+	q := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 3}, ID: 9, Dst: 3}
+	hook(q, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("log written by Close does not verify: %v", err)
+	}
+	if res.Records != 2 || res.Batches != 1 {
+		t.Fatalf("verified %d records / %d batches, want 2 / 1", res.Records, res.Batches)
+	}
+	st := rec.Stats()
+	if st.Delivered != 1 || st.Lost != 1 || st.BatchesSealed != 1 {
+		t.Fatalf("stats = %+v, want 1 delivered + 1 lost in 1 sealed batch", st)
+	}
+}
+
+// TestRecorderLostUnsampledFlow: Lost on a flow the sampler rejected
+// must be a pure branch-and-return — no record, no stats movement.
+func TestRecorderLostUnsampledFlow(t *testing.T) {
+	rec := NewRecorder(Options{Sample: 0.000001})
+	var p dataplane.Packet
+	for i := uint32(0); ; i++ {
+		p = dataplane.Packet{Flow: dataplane.FlowKey{SrcAddr: i, DstAddr: 9}, Dst: 9}
+		if !rec.Sampled(p.Flow.Hash()) {
+			break
+		}
+	}
+	rec.Lost(&p, "queue-overflow")
+	if st := rec.Stats(); st.Records != 0 || st.Lost != 0 || st.Steps != 0 {
+		t.Fatalf("Lost on unsampled flow moved stats: %+v", st)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViolationInFinalUnsealedBatch: a violating journey that is still
+// sitting in the unsealed batch at Close must be retained, sealed, and
+// provable like any other record.
+func TestViolationInFinalUnsealedBatch(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(Options{Writer: &buf, BatchSize: 1 << 20, FlushInterval: time.Hour})
+	hook := rec.RouterHook()
+	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 9}, Dst: 9}
+	hook(p, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+	hook(p, forwardHop(1, 2, dataplane.EBGP, topo.Customer, true))
+	hook(p, forwardHop(2, 1, dataplane.EBGP, topo.Customer, false)) // loop back into AS 1
+	hook(p, dataplane.HopInfo{Router: 3, AS: 4, Out: -1, Verdict: dataplane.VerdictDeliver})
+
+	bad := rec.ViolatingRecords()
+	if len(bad) != 1 || len(bad[0].Violations) == 0 {
+		t.Fatalf("violating record not retained before seal: %+v", bad)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("batch sealed early; test wants the violation in the final unsealed batch")
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyLog(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("log with violating record does not verify: %v", err)
+	}
+	found := false
+	if err := ReadRecords(bytes.NewReader(buf.Bytes()), func(r Record) error {
+		if len(r.Violations) > 0 {
+			found = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("violations did not survive the sealed sink")
+	}
+}
+
+// TestRecorderHotPathZeroAlloc is the benchmark assertion behind the
+// disabled-path satellite: both the unsampled branch and the steady-state
+// sampled push must not allocate.
+func TestRecorderHotPathZeroAlloc(t *testing.T) {
+	// Unsampled: one hash, one compare, return.
+	cold := NewRecorder(Options{Sample: 0.000001})
+	defer cold.Close()
+	hook := cold.RouterHook()
+	var p dataplane.Packet
+	for i := uint32(0); ; i++ {
+		p = dataplane.Packet{Flow: dataplane.FlowKey{SrcAddr: i, DstAddr: 9}, Dst: 9}
+		if !cold.Sampled(p.Flow.Hash()) {
+			break
+		}
+	}
+	h := forwardHop(0, 1, dataplane.EBGP, topo.Provider, true)
+	if n := testing.AllocsPerRun(1000, func() { hook(&p, h) }); n != 0 {
+		t.Fatalf("unsampled hook allocates %.1f per op, want 0", n)
+	}
+	cold.Lost(&p, "queue-overflow")
+	if n := testing.AllocsPerRun(1000, func() { cold.Lost(&p, "queue-overflow") }); n != 0 {
+		t.Fatalf("unsampled Lost allocates %.1f per op, want 0", n)
+	}
+
+	// Sampled, no sink: the full record path. Warm the journey pool and
+	// the batcher's scratch space first, then measure; Go's allocation
+	// accounting is process-global, so this also proves the batcher's
+	// steady state is allocation-free.
+	hot := NewRecorder(Options{})
+	defer hot.Close()
+	hhook := hot.RouterHook()
+	q := dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 3}, Dst: 3}
+	deliver := dataplane.HopInfo{Router: 1, AS: 3, Out: -1, Verdict: dataplane.VerdictDeliver}
+	journey := func() {
+		hhook(&q, h)
+		hhook(&q, deliver)
+	}
+	for i := 0; i < 4096; i++ {
+		journey()
+	}
+	hot.Stats() // drain barrier: warmup fully processed
+	if n := testing.AllocsPerRun(2000, journey); n != 0 {
+		t.Fatalf("sampled record path allocates %.2f per op, want 0", n)
 	}
 }
 

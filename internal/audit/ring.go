@@ -1,0 +1,154 @@
+package audit
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/dataplane"
+)
+
+// The hot half of the async recorder: fixed-size hop records pushed into
+// lock-free ring segments. A producer (a forwarding goroutine running the
+// router hook) claims a segment with a CAS latch, copies one hopRec into
+// the ring, bumps the write cursor, and releases — no mutex, no channel,
+// no allocation. Segments are selected by journey-key hash, so every
+// record of one journey lands in the same segment and the batcher sees
+// its hops in push order (per-producer the segment degenerates to an
+// SPSC ring; cross-goroutine hand-offs in netd are ordered by the UDP
+// send/receive happens-before edge, so the per-segment FIFO is enough).
+//
+// When a segment is full the producer yields once and retries (counted
+// as backpressure); if the segment is still full the record is dropped
+// and counted — the recorder sheds load rather than stalling the
+// forwarding engine, and dropped records never enter a sealed batch, so
+// the tamper-evident log stays internally consistent.
+
+// hopRec ops.
+const (
+	opHop uint8 = iota
+	opLost
+	opPath
+)
+
+// hopRec flags.
+const (
+	flagPathFirst uint8 = 1 << iota
+	flagPathLast
+	flagPathEmpty // head of a zero-step path: carries no step of its own
+)
+
+// hopRec is the fixed-size unit the hot path writes: one forwarding
+// decision (or loss notice, or one step of a flow path) plus the journey
+// identity needed to stitch it back together off the hot path. detail
+// only ever holds compile-time constant strings (loss reasons), so
+// copying a hopRec never allocates.
+type hopRec struct {
+	flow     dataplane.FlowKey
+	flowID   uint64
+	dst      int32
+	baseline int32
+	pktID    uint16
+	op       uint8
+	flags    uint8
+	verdict  dataplane.Verdict
+	reason   dataplane.DropReason
+	detail   string
+	step     Step
+}
+
+// segment is one ring: a power-of-two buffer with a producer-side CAS
+// latch and atomic cursors. The latch serializes concurrent producers
+// that hash to the same segment; the cursors carry the release/acquire
+// edge to the single consumer (the batcher), which never takes the
+// latch.
+type segment struct {
+	buf   []hopRec
+	mask  uint64
+	latch atomic.Uint32
+	w     atomic.Uint64
+	// rCache is the producers' stale copy of r (guarded by the latch):
+	// the consumer's cursor cache line is touched only when the ring
+	// looks full, not on every push.
+	rCache uint64
+	_      [40]byte // keep the consumer cursor off the producers' cache line
+	r      atomic.Uint64
+}
+
+func (s *segment) init(capacity int) {
+	s.buf = make([]hopRec, capacity)
+	s.mask = uint64(capacity - 1)
+}
+
+// pending returns how many records are buffered (approximate under
+// concurrent pushes; exact from the consumer side).
+func (s *segment) pending() uint64 { return s.w.Load() - s.r.Load() }
+
+// tryPushN copies h and then every element of rest into the ring as one
+// atomic block — either the whole group is buffered or none of it, so a
+// flow path can never be half-recorded. rest may be nil. It returns
+// false without blocking when the ring lacks room; the recorder owns
+// the retry/shed policy and its accounting.
+//
+//mifo:hotpath
+func (s *segment) tryPushN(h *hopRec, rest []hopRec) bool {
+	need := uint64(1 + len(rest))
+	if need > uint64(len(s.buf)) {
+		return false
+	}
+	s.lock()
+	w := s.w.Load()
+	if w+need-s.rCache > uint64(len(s.buf)) {
+		s.rCache = s.r.Load()
+		if w+need-s.rCache > uint64(len(s.buf)) {
+			s.unlock()
+			return false
+		}
+	}
+	s.buf[w&s.mask] = *h
+	for i := range rest {
+		s.buf[(w+1+uint64(i))&s.mask] = rest[i]
+	}
+	s.w.Store(w + need)
+	s.unlock()
+	return true
+}
+
+// lock spins on the CAS latch. Producers hold it for a handful of plain
+// stores, so contention is bounded and brief.
+//
+//mifo:hotpath
+func (s *segment) lock() {
+	for !s.latch.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+//mifo:hotpath
+func (s *segment) unlock() { s.latch.Store(0) }
+
+// drain invokes fn on every buffered record in place, then advances the
+// read cursor, and returns the number drained. Only the batcher calls
+// it. Processing in place is safe: producers never overwrite a slot
+// until r has advanced past it.
+func (s *segment) drain(fn func(*hopRec)) int {
+	r := s.r.Load()
+	w := s.w.Load()
+	for i := r; i != w; i++ {
+		fn(&s.buf[i&s.mask])
+	}
+	s.r.Store(w)
+	return int(w - r)
+}
+
+// jmix spreads a journey key over 64 bits (splitmix64 finalizer) for
+// segment selection.
+//
+//mifo:hotpath
+func jmix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,170 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// VerifyResult summarizes a successful log verification.
+type VerifyResult struct {
+	// Batches and Records count what was verified.
+	Batches int
+	Records int
+	// Head is the last batch's seal hash (hex) — the log's commitment
+	// head. Pinning it out-of-band (mifo-trace -verify -head) closes the
+	// one hole a self-contained log has: silent removal of a suffix of
+	// whole batches.
+	Head string
+}
+
+// VerifyProof checks one record against its batch seal: the canonical
+// leaf hash is recomputed from the record and the embedded inclusion
+// proof is replayed to the seal's Merkle root. A nil error means the
+// record is byte-identical (in canonical form) to what the recorder
+// sealed, at the position it was sealed in.
+func VerifyProof(rec *Record, seal *BatchSeal) error {
+	if rec.Batch != seal.Batch {
+		return fmt.Errorf("audit: record seq %d claims batch %d, sealed in batch %d", rec.Seq, rec.Batch, seal.Batch)
+	}
+	root, ok := parseHash(seal.Root)
+	if !ok {
+		return fmt.Errorf("audit: batch %d: malformed root %q", seal.Batch, seal.Root)
+	}
+	proof, ok := parseProof(rec.Proof)
+	if !ok {
+		return fmt.Errorf("audit: record seq %d: malformed inclusion proof", rec.Seq)
+	}
+	leaf, err := leafHash(rec)
+	if err != nil {
+		return fmt.Errorf("audit: record seq %d: %w", rec.Seq, err)
+	}
+	if !VerifyInclusion(leaf, rec.Leaf, seal.Records, proof, root) {
+		return fmt.Errorf("audit: record seq %d: inclusion proof does not reach batch %d root (record mutated or misplaced)", rec.Seq, seal.Batch)
+	}
+	return nil
+}
+
+// VerifyLog replays a sealed JSONL flight log and fails on any mutation,
+// truncation, or reordering:
+//
+//   - every record's canonical leaf hash must rebuild its batch's Merkle
+//     root (a single flipped byte anywhere in a record changes its leaf);
+//   - every record's embedded inclusion proof must verify at its claimed
+//     leaf index, and indices must be the write order (reordering within
+//     a batch fails both checks);
+//   - each seal's record count must match the lines since the previous
+//     seal (dropped or injected records fail);
+//   - each seal must chain to the previous seal's hash, and its own seal
+//     hash must recompute (removing or reordering whole batches fails);
+//   - records after the last seal fail (a truncated or still-unsealed
+//     tail is not verifiable).
+//
+// Only removal of a suffix of entire batches is invisible to a
+// self-contained log; compare VerifyResult.Head against a pinned value
+// to detect it.
+func VerifyLog(r io.Reader) (*VerifyResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	res := &VerifyResult{}
+	var (
+		pending []Record
+		prev    [32]byte
+		line    int
+	)
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil {
+			return nil, fmt.Errorf("audit: line %d: %w", line, err)
+		}
+		if probe.Kind != KindSeal {
+			var rec Record
+			if err := json.Unmarshal(b, &rec); err != nil {
+				return nil, fmt.Errorf("audit: line %d: %w", line, err)
+			}
+			pending = append(pending, rec)
+			continue
+		}
+		var seal BatchSeal
+		if err := json.Unmarshal(b, &seal); err != nil {
+			return nil, fmt.Errorf("audit: line %d: %w", line, err)
+		}
+		if err := verifyBatch(pending, &seal, prev, res.Batches+1); err != nil {
+			return nil, fmt.Errorf("audit: line %d: %w", line, err)
+		}
+		sh, _ := parseHash(seal.Seal)
+		prev = sh
+		res.Batches++
+		res.Records += len(pending)
+		res.Head = seal.Seal
+		pending = pending[:0]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("audit: %d record(s) after the last seal: log truncated mid-batch or never flushed", len(pending))
+	}
+	if res.Batches == 0 {
+		return nil, fmt.Errorf("audit: no batch seals found: not a sealed log (recorded with Plain?)")
+	}
+	return res, nil
+}
+
+// verifyBatch checks one sealed batch against its pending records.
+func verifyBatch(pending []Record, seal *BatchSeal, prev [32]byte, wantBatch int) error {
+	if seal.Batch != uint64(wantBatch) {
+		return fmt.Errorf("batch number %d, want %d: batch removed or reordered", seal.Batch, wantBatch)
+	}
+	if seal.Records != len(pending) {
+		return fmt.Errorf("batch %d seals %d record(s) but %d precede it: record dropped or injected", seal.Batch, seal.Records, len(pending))
+	}
+	if seal.Records == 0 {
+		return fmt.Errorf("batch %d seals zero records", seal.Batch)
+	}
+	prevHex, ok := parseHash(seal.Prev)
+	if !ok || prevHex != prev {
+		return fmt.Errorf("batch %d prev-seal link broken: batch removed, reordered, or mutated", seal.Batch)
+	}
+	root, ok := parseHash(seal.Root)
+	if !ok {
+		return fmt.Errorf("batch %d: malformed root %q", seal.Batch, seal.Root)
+	}
+	// Recompute the root from the records in file order. Any mutated,
+	// swapped, or substituted record changes a leaf and breaks the root.
+	leaves := make([][32]byte, len(pending))
+	for i := range pending {
+		lh, err := leafHash(&pending[i])
+		if err != nil {
+			return fmt.Errorf("batch %d record %d: %w", seal.Batch, i, err)
+		}
+		leaves[i] = lh
+	}
+	levels := merkleLevels(leaves)
+	if merkleRoot(levels) != root {
+		return fmt.Errorf("batch %d Merkle root mismatch: a record was mutated or reordered", seal.Batch)
+	}
+	// The seal itself must recompute from its fields and the chain.
+	if wantSeal, ok := parseHash(seal.Seal); !ok || wantSeal != sealHash(prev, root, seal.Batch, seal.Records) {
+		return fmt.Errorf("batch %d seal hash mismatch: seal line mutated", seal.Batch)
+	}
+	// Each record's embedded proof must verify at its claimed position,
+	// and positions must be the write order.
+	for i := range pending {
+		if pending[i].Leaf != i {
+			return fmt.Errorf("batch %d: record at position %d claims leaf %d: records reordered", seal.Batch, i, pending[i].Leaf)
+		}
+		if err := VerifyProof(&pending[i], seal); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package audit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/topo"
+)
+
+// sealedLog records n delivered two-hop journeys through the async sink
+// and returns the sealed JSONL bytes.
+func sealedLog(t *testing.T, opts Options, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	opts.Writer = &buf
+	if opts.FlushInterval == 0 {
+		// Keep batch boundaries count-driven: a deadline seal firing on a
+		// slow CI machine would change the expected batch shape.
+		opts.FlushInterval = time.Hour
+	}
+	rec := NewRecorder(opts)
+	hook := rec.RouterHook()
+	for i := 0; i < n; i++ {
+		p := &dataplane.Packet{Flow: dataplane.FlowKey{SrcAddr: uint32(i), DstAddr: 7}, ID: uint16(i), Dst: 7}
+		hook(p, forwardHop(0, 1, dataplane.EBGP, topo.Provider, true))
+		hook(p, dataplane.HopInfo{Router: 1, AS: 7, Out: -1, Verdict: dataplane.VerdictDeliver})
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// logLines splits a JSONL log, dropping the trailing empty element.
+func logLines(log []byte) [][]byte {
+	lines := bytes.Split(log, []byte("\n"))
+	for len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+func isSealLine(line []byte) bool {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return false
+	}
+	return probe.Kind == KindSeal
+}
+
+func TestMerkleInclusionProofs(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		leaves := make([][32]byte, n)
+		for i := range leaves {
+			leaves[i] = sha256.Sum256([]byte{byte(i)})
+		}
+		levels := merkleLevels(leaves)
+		root := merkleRoot(levels)
+		for i := 0; i < n; i++ {
+			proof := proofSteps(levels, i)
+			if !VerifyInclusion(leaves[i], i, n, proof, root) {
+				t.Fatalf("n=%d leaf %d: valid proof rejected", n, i)
+			}
+			// The same proof must fail at any other index and against a
+			// different leaf.
+			if n > 1 && VerifyInclusion(leaves[i], (i+1)%n, n, proof, root) {
+				t.Fatalf("n=%d leaf %d: proof accepted at wrong index", n, i)
+			}
+			wrong := sha256.Sum256([]byte("not the leaf"))
+			if VerifyInclusion(wrong, i, n, proof, root) {
+				t.Fatalf("n=%d leaf %d: proof accepted for wrong leaf", n, i)
+			}
+		}
+	}
+	if VerifyInclusion([32]byte{}, 0, 0, nil, [32]byte{}) {
+		t.Fatal("empty tree verified")
+	}
+}
+
+func TestVerifyLogAcceptsUntampered(t *testing.T) {
+	log := sealedLog(t, Options{BatchSize: 2}, 5)
+	res, err := VerifyLog(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 5 || res.Batches != 3 {
+		t.Fatalf("verified %d records in %d batches, want 5 in 3", res.Records, res.Batches)
+	}
+	if len(res.Head) != 64 {
+		t.Fatalf("head seal = %q, want 64 hex chars", res.Head)
+	}
+	// The analysis reader must coexist with seal lines.
+	count := 0
+	if err := ReadRecords(bytes.NewReader(log), func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("ReadRecords saw %d records, want 5 (seal lines must be skipped)", count)
+	}
+}
+
+// TestProofAcrossBatchBoundary pins the chain semantics: each record's
+// proof verifies only inside its own batch, and every batch links to the
+// previous seal, so a verifier walking the log crosses batch boundaries
+// without trusting anything but the head.
+func TestProofAcrossBatchBoundary(t *testing.T) {
+	log := sealedLog(t, Options{BatchSize: 2}, 5)
+	lines := logLines(log)
+
+	var seals []BatchSeal
+	var records []Record
+	for _, line := range lines {
+		if isSealLine(line) {
+			var s BatchSeal
+			if err := json.Unmarshal(line, &s); err != nil {
+				t.Fatal(err)
+			}
+			seals = append(seals, s)
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, r)
+	}
+	if len(seals) != 3 || len(records) != 5 {
+		t.Fatalf("log shape: %d seals, %d records", len(seals), len(records))
+	}
+	// Chain: seal i+1 must point at seal i.
+	for i := 1; i < len(seals); i++ {
+		if seals[i].Prev != seals[i-1].Seal {
+			t.Fatalf("seal %d prev = %s, want %s", i+1, seals[i].Prev, seals[i-1].Seal)
+		}
+	}
+	// A record from batch 2 verifies against batch 2's seal and against
+	// nothing else.
+	var b2 *Record
+	for i := range records {
+		if records[i].Batch == 2 {
+			b2 = &records[i]
+			break
+		}
+	}
+	if b2 == nil {
+		t.Fatal("no record in batch 2")
+	}
+	if err := VerifyProof(b2, &seals[1]); err != nil {
+		t.Fatalf("proof rejected in its own batch: %v", err)
+	}
+	if err := VerifyProof(b2, &seals[0]); err == nil {
+		t.Fatal("batch-2 record verified against batch-1 seal")
+	}
+	if err := VerifyProof(b2, &seals[2]); err == nil {
+		t.Fatal("batch-2 record verified against batch-3 seal")
+	}
+}
+
+// mustFailVerify asserts VerifyLog rejects the log, returning the error.
+func mustFailVerify(t *testing.T, log []byte, why string) {
+	t.Helper()
+	if _, err := VerifyLog(bytes.NewReader(log)); err == nil {
+		t.Fatalf("VerifyLog accepted a log with %s", why)
+	}
+}
+
+func TestVerifyLogDetectsTampering(t *testing.T) {
+	log := sealedLog(t, Options{BatchSize: 2}, 5)
+	lines := logLines(log)
+	recIdx := make([]int, 0, len(lines)) // indices of record lines
+	sealIdx := make([]int, 0, len(lines))
+	for i, line := range lines {
+		if isSealLine(line) {
+			sealIdx = append(sealIdx, i)
+		} else {
+			recIdx = append(recIdx, i)
+		}
+	}
+	rejoin := func(ls [][]byte) []byte {
+		return append(bytes.Join(ls, []byte("\n")), '\n')
+	}
+	clone := func() [][]byte {
+		out := make([][]byte, len(lines))
+		for i, l := range lines {
+			out[i] = append([]byte(nil), l...)
+		}
+		return out
+	}
+
+	// Mutation: flip one field of a mid-log record (valid JSON, wrong
+	// leaf hash).
+	mut := clone()
+	target := recIdx[2]
+	mut[target] = bytes.Replace(mut[target], []byte(`"verdict":"delivered"`), []byte(`"verdict":"dropped"`), 1)
+	if bytes.Equal(mut[target], lines[target]) {
+		t.Fatal("mutation did not apply")
+	}
+	mustFailVerify(t, rejoin(mut), "a mutated record")
+
+	// Drop: remove one record line (count mismatch).
+	drop := clone()
+	drop = append(drop[:recIdx[1]], drop[recIdx[1]+1:]...)
+	mustFailVerify(t, rejoin(drop), "a dropped record")
+
+	// Reorder: swap two record lines inside one batch.
+	swap := clone()
+	swap[recIdx[0]], swap[recIdx[1]] = swap[recIdx[1]], swap[recIdx[0]]
+	mustFailVerify(t, rejoin(swap), "reordered records")
+
+	// Truncation mid-batch: keep records but cut their seal.
+	trunc := clone()
+	trunc = trunc[:sealIdx[len(sealIdx)-1]]
+	mustFailVerify(t, rejoin(trunc), "a truncated tail")
+
+	// Removing a whole middle batch breaks the seal chain.
+	var cut [][]byte
+	for i, line := range lines {
+		inBatch2 := i > sealIdx[0] && i <= sealIdx[1]
+		if !inBatch2 {
+			cut = append(cut, line)
+		}
+	}
+	mustFailVerify(t, rejoin(cut), "a removed middle batch")
+
+	// Mutating a seal line is caught by the seal hash.
+	badSeal := clone()
+	badSeal[sealIdx[0]] = bytes.Replace(badSeal[sealIdx[0]], []byte(`"records":2`), []byte(`"records":3`), 1)
+	mustFailVerify(t, rejoin(badSeal), "a mutated seal")
+
+	// The untampered original still verifies (the clones really were
+	// copies).
+	if _, err := VerifyLog(bytes.NewReader(log)); err != nil {
+		t.Fatalf("pristine log rejected after tamper tests: %v", err)
+	}
+}
+
+func TestVerifyLogRejectsPlainAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(Options{Writer: &buf, Plain: true})
+	hook := rec.RouterHook()
+	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 7}, Dst: 7}
+	hook(p, dataplane.HopInfo{Router: 0, AS: 7, Out: -1, Verdict: dataplane.VerdictDeliver})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"verdict":"delivered"`) {
+		t.Fatalf("plain mode did not stream the record: %q", buf.String())
+	}
+	if strings.Contains(buf.String(), KindSeal) {
+		t.Fatal("plain mode wrote a seal line")
+	}
+	if _, err := VerifyLog(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("VerifyLog accepted a plain (unsealed) log")
+	}
+	if _, err := VerifyLog(strings.NewReader("")); err == nil {
+		t.Fatal("VerifyLog accepted an empty log")
+	}
+}

@@ -30,6 +30,10 @@ func TestFlightRecorderAuditsMIFORun(t *testing.T) {
 	if !res.Flows[1].UsedAlt {
 		t.Fatal("scenario drifted: flow 1 never deflected")
 	}
+	// Seal the async sink so the JSONL checks below see every record.
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	st := rec.Stats()
 	if st.Violations != 0 {

@@ -35,7 +35,10 @@ func TestFlightRecorderAuditsPacketRun(t *testing.T) {
 	r1.Deflect = dataplane.DeflectShare(0.5)
 
 	var buf bytes.Buffer
-	rec := audit.NewRecorder(audit.Options{Writer: &buf})
+	// The sim bursts hops faster than the batcher encodes them; size the
+	// rings for the whole run so the shed policy never fires and the
+	// exact-count assertions below hold.
+	rec := audit.NewRecorder(audit.Options{Writer: &buf, SegmentCap: 1 << 13})
 	sim := New(n, Config{Recorder: rec})
 	for _, k := range []dataplane.FlowKey{
 		{SrcAddr: 1, DstAddr: 4, SrcPort: 2, Proto: 6},
@@ -56,6 +59,9 @@ func TestFlightRecorderAuditsPacketRun(t *testing.T) {
 	}
 
 	st := rec.Stats()
+	if st.RingDropped != 0 {
+		t.Fatalf("rings shed %d records despite workload-sized capacity", st.RingDropped)
+	}
 	if st.Violations != 0 {
 		t.Fatalf("invariant violations in a correct MIFO run: %+v\nrecords: %+v",
 			st, rec.ViolatingRecords())
