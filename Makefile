@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race audit-race fib-race vet lint bench bench-json fuzz figures testbed results clean
+.PHONY: all build test race audit-race fib-race span-race conv-smoke vet lint bench bench-json fuzz figures testbed results clean
 
 all: build test
 
@@ -13,8 +13,8 @@ vet:
 	$(GO) vet ./...
 
 # mifolint: the repository's own analyzer suite (internal/lint) — FIB
-# generation immutability, the //mifo:hotpath cost budget, obs metric
-# naming, lock-scope hygiene, and the shadow/unusedwrite/nilness/droppederr
+# generation immutability, the //mifo:hotpath cost budget, obs metric and
+# span naming, lock-scope hygiene, and the shadow/unusedwrite/nilness/droppederr
 # sweeps. Standalone mode enables the whole-tree checks; the same binary
 # also runs as `go vet -vettool=$$(which mifo-lint) ./...`.
 lint:
@@ -44,8 +44,22 @@ audit-race:
 fib-race:
 	$(GO) test -race -count=2 ./internal/dataplane ./internal/lpm ./internal/core ./internal/bgp
 
+# The convergence tracer's concurrency surface: producers push spans into
+# lock-free ring segments from simulator/daemon goroutines while the
+# collector drains, counts sheds, and answers Flush/Close barriers — and
+# the netsim mirror deployment drives the whole pipeline per failure.
+span-race:
+	$(GO) test -race -count=5 ./internal/obs/span
+	$(GO) test -race -count=2 -run 'Convergence|Trace' ./internal/netsim ./internal/bgpsim
+
+# End-to-end convergence gate, same as CI: every failure event injected by
+# a resilience run must provably reach data-plane consistency.
+conv-smoke:
+	$(GO) run ./cmd/mifo-sim -exp resilience -n 300 -flows 800 -span-log /tmp/mifo-spans.jsonl > /dev/null
+	$(GO) run ./cmd/mifo-conv -events -min-events 6 /tmp/mifo-spans.jsonl
+
 bench:
-	$(GO) test -run xxx -bench=. -benchmem . ./internal/dataplane ./internal/audit ./internal/bgp ./internal/lpm
+	$(GO) test -run xxx -bench=. -benchmem . ./internal/dataplane ./internal/audit ./internal/bgp ./internal/lpm ./internal/obs/span
 
 # Machine-readable benchmark results for regression tracking: the
 # forwarding hot path plus the flight recorder at every setting

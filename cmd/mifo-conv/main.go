@@ -1,0 +1,149 @@
+// mifo-conv analyses a convergence span log (JSONL, produced by
+// mifo-sim -span-log or any span.Tracer sink) entirely offline: it
+// reassembles each failure event's causal span tree and reports how long
+// the pipeline took from failure injection to data-plane consistency,
+// and where inside the pipeline — route recompute, daemon epoch, FIB
+// commit, generation swap — that time went.
+//
+// Usage:
+//
+//	mifo-sim -exp resilience -span-log spans.jsonl
+//	mifo-conv spans.jsonl                  # report: events, stages, CDF
+//	mifo-conv -events spans.jsonl          # per-event table
+//	mifo-conv -min-events 6 spans.jsonl    # fail unless >= 6 events traced
+//	cat spans.jsonl | mifo-conv            # reads stdin without a file arg
+//
+// Exit status is 2 when any traced failure event did not provably reach
+// data-plane consistency (an incomplete span tree or an orphaned trace),
+// so the analyzer can gate CI: `mifo-conv spans.jsonl || fail`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs/span"
+)
+
+func main() {
+	var (
+		events    = flag.Bool("events", false, "print the per-event table instead of only the summary")
+		minEvents = flag.Int("min-events", 0, "fail (exit 2) when fewer failure events were traced")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one log file argument, got %d", flag.NArg()))
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	recs, err := span.ReadRecords(in)
+	if err != nil {
+		fatal(err)
+	}
+	rep := span.Analyze(recs)
+
+	fmt.Printf("# %s\n", name)
+	fmt.Printf("%d spans, %d failure events (%d complete), %d orphan traces\n",
+		rep.Records, len(rep.Events), rep.CompleteEvents(), rep.OrphanTraces)
+
+	if *events || !allComplete(rep) {
+		printEvents(rep)
+	}
+	printStages(rep)
+	printCDF(rep)
+
+	bad := len(rep.Events) - rep.CompleteEvents() + rep.OrphanTraces
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mifo-conv: %d failure events not proven consistent\n", bad)
+		os.Exit(2)
+	}
+	if len(rep.Events) < *minEvents {
+		fmt.Fprintf(os.Stderr, "mifo-conv: traced %d failure events, want at least %d\n",
+			len(rep.Events), *minEvents)
+		os.Exit(2)
+	}
+}
+
+func allComplete(rep *span.Report) bool {
+	return rep.CompleteEvents() == len(rep.Events) && rep.OrphanTraces == 0
+}
+
+// printEvents prints one row per failure event, in log order.
+func printEvents(rep *span.Report) {
+	fmt.Println("\n## Failure events")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "event\tlink\tdirty\tspans\tconvergence\tstatus")
+	for i := range rep.Events {
+		ev := &rep.Events[i]
+		status := "complete"
+		if !ev.Complete {
+			status = "INCOMPLETE: " + ev.Why
+		}
+		fmt.Fprintf(w, "%s\t%d-%d\t%d\t%d\t%v\t%s\n",
+			ev.Root.Name, ev.Root.A, ev.Root.B, ev.Dirty, ev.Spans,
+			ev.Convergence.Round(time.Microsecond), status)
+	}
+	w.Flush() //mifolint:ignore droppederr tabwriter over stdout; a write error here has nowhere to go
+}
+
+// printStages prints the per-stage latency breakdown across all events.
+func printStages(rep *span.Report) {
+	fmt.Println("\n## Pipeline stages (all events)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stage\tspans\tmean\tmax\ttotal")
+	keys := append([]string(nil), span.StageOrder...)
+	keys = append(keys, "other")
+	for _, k := range keys {
+		a, ok := rep.Stage[k]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\n", k, a.Count,
+			a.Mean().Round(time.Nanosecond), a.Max.Round(time.Nanosecond),
+			a.Total.Round(time.Nanosecond))
+	}
+	w.Flush() //mifolint:ignore droppederr tabwriter over stdout; a write error here has nowhere to go
+}
+
+// printCDF prints the convergence-latency distribution over complete
+// events: time from failure injection to data-plane consistency.
+func printCDF(rep *span.Report) {
+	secs := rep.ConvergenceSeconds()
+	if len(secs) == 0 {
+		return
+	}
+	cdf := metrics.NewCDF(secs...)
+	fmt.Println("\n## Convergence latency (failure event -> data-plane consistency)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "quantile\tlatency")
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		fmt.Fprintf(w, "p%.0f\t%v\n", q*100, seconds(cdf.Quantile(q)))
+	}
+	fmt.Fprintf(w, "mean\t%v\n", seconds(cdf.Mean()))
+	fmt.Fprintf(w, "min\t%v\n", seconds(cdf.Min()))
+	w.Flush() //mifolint:ignore droppederr tabwriter over stdout; a write error here has nowhere to go
+}
+
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mifo-conv:", err)
+	os.Exit(1)
+}

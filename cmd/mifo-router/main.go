@@ -17,10 +17,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/dataplane"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -29,6 +31,8 @@ func main() {
 		congest    = flag.String("congest", "", "comma-separated ASes whose default link to AS 0 is congested")
 		src        = flag.Int("src", 1, "source AS (1, 2 or 3)")
 		noTagCheck = flag.Bool("no-tagcheck", false, "disable the valley-free tag-check (demonstrates the loop)")
+		dbgAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and pprof on this address (e.g. :6062)")
+		linger     = flag.Duration("linger", 0, "keep running (and serving -debug-addr) this long after the trace prints")
 	)
 	flag.Parse()
 
@@ -40,6 +44,18 @@ func main() {
 		fatal(err)
 	}
 	dep := core.NewDeployment(g, core.Config{})
+	if *dbgAddr != "" {
+		// The deployment's FIB-publication metrics (core_fib_commit_seconds,
+		// core_fib_generation) land on the same registry the debug mux
+		// scrapes, so the install and refresh below are observable.
+		reg := obs.NewRegistry()
+		dep.Instrument(reg)
+		_, addr, err := obs.ServeDebug(*dbgAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server on http://%v (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+	}
 	dep.InstallDestination(bgp.Compute(g, 0))
 
 	for _, tok := range strings.Split(*congest, ",") {
@@ -94,6 +110,11 @@ func main() {
 			len(res.Hops))
 	default:
 		fmt.Printf("DROPPED (%v) at AS %d\n", res.Reason, dep.Net.Router(res.At).AS)
+	}
+
+	if *linger > 0 {
+		fmt.Printf("lingering %v (debug endpoints stay live)...\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		fltBatch = flag.Int("flight-batch", 0, "records per Merkle-sealed batch in the flight log (0 = default 256)")
 		fltFlush = flag.Duration("flight-flush", 0, "seal a partial flight-log batch after this long (0 = default 50ms)")
 		fltPlain = flag.Bool("flight-plain", false, "stream flight records without Merkle seals (not verifiable with mifo-trace -verify)")
+		spanLog  = flag.String("span-log", "", "trace injected link failures to data-plane consistency as JSONL spans here (analyse with mifo-conv)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -103,6 +105,40 @@ func main() {
 		}
 	}
 
+	// Convergence tracer: every injected link event in span-aware
+	// experiments (resilience) is traced from failure injection to
+	// data-plane consistency. The log is what mifo-conv consumes.
+	finishSpans := func() bool { return true }
+	if *spanLog != "" {
+		f, err := os.Create(*spanLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mifo-sim:", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		tr := span.New(span.Options{Writer: w, Registry: reg})
+		o.Spans = tr
+		finishSpans = func() bool {
+			ok := true
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: span tracer:", err)
+				ok = false
+			}
+			if err := w.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: span log:", err)
+				ok = false
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: span log:", err)
+				ok = false
+			}
+			st := tr.Stats()
+			fmt.Printf("# span log: %d spans across %d failure events (%d shed) -> %s\n",
+				st.Records, st.Roots, st.Dropped, *spanLog)
+			return ok
+		}
+	}
+
 	list := strings.Split(*exp, ",")
 	if *exp == "all" {
 		list = []string{"table1", "fig7", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig8", "fig9", "resilience", "strategy", "overhead"}
@@ -124,6 +160,9 @@ func main() {
 		fmt.Printf("# [%s done in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
 	}
 	clean := finishFlight()
+	if !finishSpans() {
+		clean = false
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "mifo-sim: %d/%d experiments failed\n", failed, len(list))
 		os.Exit(1)

@@ -3,6 +3,7 @@ package bgp
 import (
 	"sort"
 
+	"repro/internal/obs/span"
 	"repro/internal/parallel"
 	"repro/internal/topo"
 )
@@ -52,7 +53,15 @@ type Table struct {
 	dests   map[int]*Dest
 	workers int
 	stats   TableStats
+	spans   *span.Tracer
 }
+
+// SetTracer attaches a span tracer: every subsequent link event emits a
+// route_recompute span (with the event's endpoints and dirty count) and
+// one dest_recompute child per recomputed destination, parented to the
+// context the caller passes to LinkDownCtx/LinkUpCtx. A nil tracer (the
+// default) is free.
+func (t *Table) SetTracer(tr *span.Tracer) { t.spans = tr }
 
 // NewTable computes tables for every destination in dsts over g, in
 // parallel with the given worker bound (0 = all CPUs).
@@ -142,6 +151,7 @@ func (t *Table) Clone() *Table {
 		failed:  make(map[topo.LinkRef]bool, len(t.failed)),
 		dests:   make(map[int]*Dest, len(t.dests)),
 		workers: t.workers,
+		spans:   t.spans,
 	}
 	for r := range t.failed {
 		c.failed[r] = true
@@ -155,6 +165,10 @@ func (t *Table) Clone() *Table {
 // FailedLinks returns the number of currently failed links.
 func (t *Table) FailedLinks() int { return len(t.failed) }
 
+// LinkFailed reports whether the undirected link (a, b) is currently
+// failed through this table.
+func (t *Table) LinkFailed(a, b int) bool { return t.failed[normLinkRef(a, b)] }
+
 // LinkDown removes the undirected link (a, b) and incrementally recomputes
 // the affected destinations. It returns the number of destinations
 // recomputed, and is a no-op (returning 0) when the link does not exist or
@@ -167,9 +181,17 @@ func (t *Table) FailedLinks() int { return len(t.failed) }
 // actually selected, i.e. the destination's route tree traverses the link:
 // next[a] == b or next[b] == a.
 func (t *Table) LinkDown(a, b int) int {
+	return t.LinkDownCtx(a, b, span.Context{})
+}
+
+// LinkDownCtx is LinkDown with a causal parent: the incremental
+// recompute's spans are children of parent (typically a failure event's
+// root span).
+func (t *Table) LinkDownCtx(a, b int, parent span.Context) int {
 	if !t.cur.HasLink(a, b) {
 		return 0
 	}
+	sp := t.startRecompute(a, b, parent)
 	dirty := make([]int, 0, len(t.dests))
 	for dst, d := range t.dests {
 		if d.usesLink(a, b) {
@@ -179,7 +201,9 @@ func (t *Table) LinkDown(a, b int) int {
 	ref := normLinkRef(a, b)
 	t.failed[ref] = true
 	t.recut()
-	t.recompute(dirty)
+	t.recompute(dirty, sp.Context())
+	sp.V = float64(len(dirty))
+	sp.End()
 	return len(dirty)
 }
 
@@ -195,10 +219,16 @@ func (t *Table) LinkDown(a, b int) int {
 // next-hop order) the incumbent best route at its receiving end, after the
 // valley-free export filter and the AS-path loop filter.
 func (t *Table) LinkUp(a, b int) int {
+	return t.LinkUpCtx(a, b, span.Context{})
+}
+
+// LinkUpCtx is LinkUp with a causal parent for the recompute's spans.
+func (t *Table) LinkUpCtx(a, b int, parent span.Context) int {
 	ref := normLinkRef(a, b)
 	if !t.failed[ref] {
 		return 0
 	}
+	sp := t.startRecompute(a, b, parent)
 	delete(t.failed, ref)
 	t.recut()
 	// Relationship of each endpoint as seen from the other, on the restored
@@ -216,8 +246,19 @@ func (t *Table) LinkUp(a, b int) int {
 			dirty = append(dirty, dst)
 		}
 	}
-	t.recompute(dirty)
+	t.recompute(dirty, sp.Context())
+	sp.V = float64(len(dirty))
+	sp.End()
 	return len(dirty)
+}
+
+// startRecompute opens the route_recompute span shared by both link
+// event directions (the span-name hygiene rule wants exactly one Start
+// site per name).
+func (t *Table) startRecompute(a, b int, parent span.Context) span.Span {
+	sp := t.spans.Start("route_recompute", parent, -1)
+	sp.A, sp.B = int64(a), int64(b)
+	return sp
 }
 
 // usesLink reports whether the destination's route tree traverses the
@@ -274,8 +315,9 @@ func (t *Table) recut() {
 }
 
 // recompute re-runs the three-phase algorithm for the given destinations
-// on the current graph, in parallel.
-func (t *Table) recompute(dirty []int) {
+// on the current graph, in parallel, emitting one dest_recompute span
+// per destination under parent when a tracer is attached.
+func (t *Table) recompute(dirty []int, parent span.Context) {
 	t.stats.IncrementalComputes += int64(len(dirty))
 	t.stats.CleanSkipped += int64(len(t.dests) - len(dirty))
 	if len(dirty) == 0 {
@@ -283,7 +325,10 @@ func (t *Table) recompute(dirty []int) {
 	}
 	sort.Ints(dirty) // deterministic work order
 	fresh := parallel.Map(len(dirty), t.workers, func(i int) *Dest {
-		return Compute(t.cur, dirty[i])
+		ds := t.spans.Start("dest_recompute", parent, int32(dirty[i]))
+		d := Compute(t.cur, dirty[i])
+		ds.End()
+		return d
 	})
 	for i, dst := range dirty {
 		t.dests[dst] = fresh[i]

@@ -24,6 +24,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/lpm"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/topo"
 )
 
@@ -75,6 +76,26 @@ type Deployment struct {
 	// FIB publication metrics, nil unless Instrument was called.
 	fibCommit *obs.Histogram
 	fibGen    *obs.GaugeVec
+
+	// spans, when non-nil, traces the control pipeline: daemon_epoch and
+	// fib_commit spans from here, fib_swap spans from the routers' FIBs
+	// (SetTracer wires those through).
+	spans *span.Tracer
+}
+
+// SetTracer attaches a span tracer to the deployment's control pipeline
+// and to every router's map FIB, so control epochs, per-router FIB
+// commits, and data-plane generation swaps emit causally linked spans.
+// (Prefix-FIB routers trace down to fib_commit; the trie's swap is not
+// separately instrumented.) Pass the parent context per call via
+// RefreshAllCtx / InstallDestinationsCtx.
+func (d *Deployment) SetTracer(tr *span.Tracer) {
+	d.spans = tr
+	for _, r := range d.Net.Routers {
+		if r.FIB != nil {
+			r.FIB.SetTracer(tr, int32(r.ID))
+		}
+	}
 }
 
 type portRef struct {
@@ -214,6 +235,13 @@ func (d *Deployment) InstallDestination(t *bgp.Dest) {
 // per router: N destinations cost each router one staged generation instead
 // of N, which keeps bulk installation linear in table size.
 func (d *Deployment) InstallDestinations(ts []*bgp.Dest) {
+	d.InstallDestinationsCtx(ts, span.Context{})
+}
+
+// InstallDestinationsCtx is InstallDestinations with a causal parent:
+// each router's FIB commit (and the generation swap below it) is traced
+// as a child of parent.
+func (d *Deployment) InstallDestinationsCtx(ts []*bgp.Dest, parent span.Context) {
 	d.tablesMu.Lock()
 	for _, t := range ts {
 		d.tables.Install(t)
@@ -221,7 +249,7 @@ func (d *Deployment) InstallDestinations(ts []*bgp.Dest) {
 	d.tablesMu.Unlock()
 	txs := make([]fibTx, len(d.Net.Routers))
 	for i, r := range d.Net.Routers {
-		txs[i] = beginFIB(r)
+		txs[i] = beginFIB(r, parent)
 	}
 	for _, t := range ts {
 		dst := int32(t.Dst())
@@ -229,7 +257,16 @@ func (d *Deployment) InstallDestinations(ts []*bgp.Dest) {
 			d.Net.Router(id).Local[dst] = true
 		}
 		for v := 0; v < d.Graph.N(); v++ {
-			if v == t.Dst() || !t.Reachable(v) {
+			if v == t.Dst() {
+				continue
+			}
+			if !t.Reachable(v) {
+				// Withdrawn (or never-offered) route: the AS keeps no entry,
+				// so its packets drop as no-route instead of following a
+				// stale entry from an earlier install into a black hole.
+				for _, id := range d.routersOf[v] {
+					txs[id].del(dst)
+				}
 				continue
 			}
 			ref := d.egress[v][int32(t.NextHop(v))]
@@ -244,8 +281,8 @@ func (d *Deployment) InstallDestinations(ts []*bgp.Dest) {
 			}
 		}
 	}
-	for _, tx := range txs {
-		tx.commit()
+	for i, tx := range txs {
+		d.commitTx(tx, dataplane.RouterID(i), parent)
 	}
 }
 
@@ -258,14 +295,17 @@ type fibTx struct {
 	px  *lpm.Txn[dataplane.FIBEntry]
 }
 
-// beginFIB opens a transaction on r's FIB. The transaction holds the
-// router's writer lock until commit; forwarding lookups stay wait-free on
-// the published generation throughout.
-func beginFIB(r *dataplane.Router) fibTx {
+// beginFIB opens a transaction on r's FIB, parenting its eventual
+// fib_swap span under parent. The transaction holds the router's writer
+// lock until commit; forwarding lookups stay wait-free on the published
+// generation throughout.
+func beginFIB(r *dataplane.Router, parent span.Context) fibTx {
 	if r.PrefixFIB != nil {
 		return fibTx{px: r.PrefixFIB.Begin()}
 	}
-	return fibTx{fib: r.FIB.Begin()}
+	tx := r.FIB.Begin()
+	tx.TraceUnder(parent)
+	return fibTx{fib: tx}
 }
 
 // set stages an install or replacement of the entry for dst.
@@ -294,12 +334,44 @@ func (tx fibTx) setAlt(dst int32, alt int, via dataplane.RouterID) bool {
 	return tx.fib.SetAlt(dst, alt, via)
 }
 
+// del stages withdrawal of the entry for dst (a no-op when absent).
+func (tx fibTx) del(dst int32) {
+	if tx.px != nil {
+		tx.px.Remove(dataplane.PrefixAddr(dst), 32)
+		return
+	}
+	tx.fib.Delete(dst)
+}
+
 // commit publishes the staged generation and returns its id.
 func (tx fibTx) commit() uint64 {
 	if tx.px != nil {
 		return tx.px.Commit()
 	}
 	return tx.fib.Commit()
+}
+
+// dirty reports whether the transaction staged an effective change.
+func (tx fibTx) dirty() bool {
+	if tx.px != nil {
+		return tx.px.Dirty()
+	}
+	return tx.fib.Dirty()
+}
+
+// commitTx publishes one router's staged generation under a fib_commit
+// span — the single Start site shared by epoch refreshes and bulk
+// installs. Clean transactions commit without a span: nothing was
+// published, so there is nothing to time.
+func (d *Deployment) commitTx(tx fibTx, id dataplane.RouterID, parent span.Context) uint64 {
+	if !tx.dirty() {
+		return tx.commit()
+	}
+	sp := d.spans.Start("fib_commit", parent, int32(id))
+	gen := tx.commit()
+	sp.A = int64(gen)
+	sp.End()
+	return gen
 }
 
 // Instrument registers the deployment's FIB publication metrics on reg:

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/dataplane"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Daemon is one AS's MIFO daemon. In the paper's prototype this is a XORP
@@ -98,22 +99,33 @@ func better(a, b Selection) bool {
 // updated mix — and the per-commit map/trie copy is amortized over every
 // destination instead of paid per entry.
 func (dm *Daemon) RefreshAll(tables []*bgp.Dest) {
+	dm.RefreshAllCtx(tables, span.Context{})
+}
+
+// RefreshAllCtx is RefreshAll with a causal parent: the whole epoch is
+// traced as one daemon_epoch span, with one fib_commit child per border
+// router that actually changed (and a fib_swap grandchild under each at
+// the publication instant).
+func (dm *Daemon) RefreshAllCtx(tables []*bgp.Dest, parent span.Context) {
 	dep := dm.dep
 	rs := dep.routersOf[dm.as]
 	start := time.Now()
+	ep := dep.spans.Start("daemon_epoch", parent, int32(dm.as))
+	ep.A = int64(len(tables))
 	txs := make([]fibTx, len(rs))
 	for i, id := range rs {
-		txs[i] = beginFIB(dep.Net.Router(id))
+		txs[i] = beginFIB(dep.Net.Router(id), ep.Context())
 	}
 	for _, t := range tables {
 		dm.refreshInto(txs, t)
 	}
 	for i, id := range rs {
-		gen := txs[i].commit()
+		gen := dep.commitTx(txs[i], id, ep.Context())
 		if dep.fibGen != nil {
 			dep.fibGen.With(strconv.Itoa(int(id))).Set(float64(gen))
 		}
 	}
+	ep.End()
 	if dep.fibCommit != nil {
 		dep.fibCommit.Observe(time.Since(start).Seconds())
 	}

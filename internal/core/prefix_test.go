@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/dataplane"
+	"repro/internal/obs/span"
 )
 
 // The prefix-FIB deployment must behave identically to the dense one —
@@ -79,7 +80,7 @@ func TestPrefixFIBClearAlt(t *testing.T) {
 	}
 	// With the whole RIB reduced to one route the daemon clears the alt.
 	// Simulate by clearing directly through the abstraction.
-	tx := beginFIB(r)
+	tx := beginFIB(r, span.Context{})
 	ok = tx.setAlt(0, -1, -1)
 	tx.commit()
 	if !ok {

@@ -3,6 +3,8 @@ package dataplane
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs/span"
 )
 
 // FIB maps destination identifiers to forwarding entries as a sequence of
@@ -24,6 +26,19 @@ type FIB struct {
 	// so generations advance one at a time and no staged copy is ever lost
 	// to a concurrent writer. Readers never touch it.
 	mu sync.Mutex
+	// spans/node emit a fib_swap span at the publication instant of every
+	// dirty commit — the moment the data plane becomes consistent with the
+	// control plane's latest epoch. Nil tracer (the default) is free.
+	spans *span.Tracer
+	node  int32
+}
+
+// SetTracer attaches a span tracer and this FIB's node identity (its
+// router ID); subsequent dirty commits emit fib_swap spans under the
+// context given to FIBTx.TraceUnder.
+func (f *FIB) SetTracer(tr *span.Tracer, node int32) {
+	f.spans = tr
+	f.node = node
 }
 
 // fibGen is one immutable FIB generation. The entries map is never written
@@ -67,7 +82,16 @@ type FIBTx struct {
 	f       *FIB
 	entries map[int32]FIBEntry
 	dirty   bool
+	parent  span.Context
 }
+
+// TraceUnder parents the transaction's fib_swap span (emitted at Commit
+// when the FIB carries a tracer and the transaction changed anything)
+// under the given span context.
+func (tx *FIBTx) TraceUnder(parent span.Context) { tx.parent = parent }
+
+// Dirty reports whether the transaction has staged an effective change.
+func (tx *FIBTx) Dirty() bool { return tx.dirty }
 
 // Begin opens a transaction against the current generation, copying its
 // entries. The copy is what makes the published generations immutable —
@@ -82,8 +106,14 @@ func (f *FIB) Begin() *FIBTx {
 	return &FIBTx{f: f, entries: entries}
 }
 
-// Set stages an install or replacement of the entry for dst.
+// Set stages an install or replacement of the entry for dst. Staging an
+// entry identical to the incumbent is a no-op, so re-installing an
+// unchanged table does not dirty the generation — routers whose
+// forwarding did not actually change publish nothing.
 func (tx *FIBTx) Set(dst int32, e FIBEntry) {
+	if old, ok := tx.entries[dst]; ok && old == e {
+		return
+	}
 	tx.entries[dst] = e
 	tx.dirty = true
 }
@@ -108,6 +138,18 @@ func (tx *FIBTx) SetAlt(dst int32, alt int, via RouterID) bool {
 // ClearAlt stages removal of the alternative of an existing entry.
 func (tx *FIBTx) ClearAlt(dst int32) { tx.SetAlt(dst, -1, -1) }
 
+// Delete stages withdrawal of the entry for dst — the control plane lost
+// its route, so forwarding must drop as no-route rather than follow a
+// stale entry into a black hole. Deleting an absent entry is a no-op and
+// does not dirty the generation.
+func (tx *FIBTx) Delete(dst int32) {
+	if _, ok := tx.entries[dst]; !ok {
+		return
+	}
+	delete(tx.entries, dst)
+	tx.dirty = true
+}
+
 // Commit publishes the staged generation with a single pointer swap and
 // releases the writer lock, returning the published generation id. A
 // transaction that staged no effective change publishes nothing and the
@@ -117,7 +159,10 @@ func (tx *FIBTx) Commit() uint64 {
 	gen := cur.gen
 	if tx.dirty {
 		gen++
+		sp := tx.f.spans.Start("fib_swap", tx.parent, tx.f.node)
 		tx.f.cur.Store(&fibGen{gen: gen, entries: tx.entries})
+		sp.A = int64(gen)
+		sp.End()
 	}
 	tx.f.mu.Unlock()
 	tx.f = nil // poison: a second Commit is a bug, fail loudly

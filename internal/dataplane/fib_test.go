@@ -91,21 +91,84 @@ func TestFIBConcurrentCommitLookup(t *testing.T) {
 	}
 	for w := 0; w < 2; w++ {
 		writers.Add(1)
-		go func() {
+		go func(w int) {
 			defer writers.Done()
 			for i := 0; i < commits; i++ {
 				tx := f.Begin()
-				out := i % 7
+				// Disjoint per-writer value ranges: every staged entry
+				// differs from the incumbent (whichever writer published
+				// it), so identical-entry skipping never cleans a commit
+				// and the generation count below stays exact.
+				out := w*7 + i%7 + 1
 				tx.Set(1, FIBEntry{Out: out, Alt: out + 1, AltVia: 1})
 				tx.Set(2, FIBEntry{Out: out, Alt: out + 1, AltVia: 1})
 				tx.Commit()
 			}
-		}()
+		}(w)
 	}
 	writers.Wait()
 	stop.Store(true)
 	readers.Wait()
 	if got := f.Generation(); got != 1+2*commits {
 		t.Fatalf("generation = %d, want %d (one bump per dirty commit)", got, 1+2*commits)
+	}
+}
+
+// TestFIBDelete: withdrawing a route removes the entry (a lookup must
+// drop as no-route, not follow a stale path) and publishes a generation;
+// re-withdrawing an absent entry stays clean.
+func TestFIBDelete(t *testing.T) {
+	f := NewFIB()
+	f.Set(1, FIBEntry{Out: 1, Alt: -1, AltVia: -1})
+	gen := f.Generation()
+
+	tx := f.Begin()
+	tx.Delete(1)
+	if !tx.Dirty() {
+		t.Error("Delete of a present entry left the transaction clean")
+	}
+	if got := tx.Commit(); got != gen+1 {
+		t.Fatalf("withdraw commit generation = %d, want %d", got, gen+1)
+	}
+	if _, ok := f.Lookup(1); ok {
+		t.Fatal("withdrawn entry still resolves")
+	}
+
+	tx = f.Begin()
+	tx.Delete(1)
+	if tx.Dirty() {
+		t.Error("Delete of an absent entry dirtied the transaction")
+	}
+	if got := tx.Commit(); got != gen+1 {
+		t.Errorf("clean re-withdraw moved generation %d -> %d", gen+1, got)
+	}
+}
+
+// TestFIBSetIdenticalIsClean: re-staging the incumbent entry must not
+// dirty the transaction — unchanged routers publish no new generation,
+// which is what keeps fib_swap spans (and generation counts) meaningful
+// as "forwarding actually changed here" signals.
+func TestFIBSetIdenticalIsClean(t *testing.T) {
+	f := NewFIB()
+	e := FIBEntry{Out: 3, Alt: 5, AltVia: 2}
+	f.Set(7, e)
+	gen := f.Generation()
+
+	tx := f.Begin()
+	tx.Set(7, e)
+	if tx.Dirty() {
+		t.Error("identical Set dirtied the transaction")
+	}
+	if got := tx.Commit(); got != gen {
+		t.Errorf("clean commit moved generation %d -> %d", gen, got)
+	}
+
+	tx = f.Begin()
+	tx.Set(7, FIBEntry{Out: 4, Alt: 5, AltVia: 2})
+	if !tx.Dirty() {
+		t.Error("changed Set left the transaction clean")
+	}
+	if got := tx.Commit(); got != gen+1 {
+		t.Errorf("dirty commit generation = %d, want %d", got, gen+1)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/miro"
 	"repro/internal/netsim"
+	"repro/internal/obs/span"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -57,6 +58,12 @@ type Options struct {
 	// recorded as a JSONL flight record and audited online (mifo-sim's
 	// -flight-log / -flight-sample flags).
 	Recorder *audit.Recorder
+
+	// Spans, when non-nil, attaches the convergence span tracer to every
+	// flow-level simulation an experiment runs: each injected link event
+	// is traced from failure injection to data-plane consistency
+	// (mifo-sim's -span-log flag; analyze with cmd/mifo-conv).
+	Spans *span.Tracer
 }
 
 func (o Options) withDefaults() Options {

@@ -69,6 +69,7 @@ func RunResilience(o Options) (*Resilience, error) {
 			Failures:           []netsim.LinkFailure{failure},
 			ReconvergenceDelay: delay,
 			Recorder:           o.Recorder,
+			Spans:              o.Spans,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: resilience %v: %v", pol, err)

@@ -25,6 +25,14 @@ import (
 //
 // The registration methods watched are Counter, Gauge, Histogram and
 // their *Vec variants on obs.Registry.
+//
+// The same contract, minus the component prefix, applies to span names
+// passed to span.Tracer.Start/StartRoot: a span name is the analyzer's
+// key for the convergence pipeline stage (mifo-conv groups by it), so it
+// must be a compile-time snake_case literal with a single call site —
+// two sites sharing "fib_commit" would silently merge two distinct
+// stages in every latency breakdown. Span names live in their own
+// namespace: a metric and a span may share a name.
 
 // ObsnamesConfig parameterizes the obsnames analyzer.
 type ObsnamesConfig struct {
@@ -36,6 +44,11 @@ type ObsnamesConfig struct {
 	// the metric prefixes it may use, when they differ from the package
 	// name (package main cannot be a prefix).
 	PrefixOverrides map[string][]string
+	// SpanPkgSuffix locates the span tracer type (path-suffix match).
+	// Empty disables span-name checking.
+	SpanPkgSuffix string
+	// SpanTypeName is the tracer's type name.
+	SpanTypeName string
 }
 
 // DefaultObsnamesConfig covers repro's internal/obs registry.
@@ -49,12 +62,18 @@ func DefaultObsnamesConfig() ObsnamesConfig {
 			// The obs package's own self-metrics, if it ever grows any.
 			"internal/obs": {"obs"},
 		},
+		SpanPkgSuffix: "internal/obs/span",
+		SpanTypeName:  "Tracer",
 	}
 }
 
 var registryMethods = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true,
 	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+var tracerMethods = map[string]bool{
+	"Start": true, "StartRoot": true,
 }
 
 // metricNameRE: lowercase snake_case, >= 2 segments, digits allowed after
@@ -64,14 +83,22 @@ var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
 const obsnamesFactKey = "obsnames"
 
 type obsnamesFacts struct {
-	sites map[string][]token.Position // metric name -> registration sites
+	sites     map[string][]token.Position // metric name -> registration sites
+	spanSites map[string][]token.Position // span name -> Start/StartRoot sites
+}
+
+func newObsnamesFacts() any {
+	return &obsnamesFacts{
+		sites:     map[string][]token.Position{},
+		spanSites: map[string][]token.Position{},
+	}
 }
 
 // Obsnames returns the metric-naming analyzer.
 func Obsnames(cfg ObsnamesConfig) *Analyzer {
 	a := &Analyzer{
 		Name: "obsnames",
-		Doc:  "obs registry metric names must be prefixed snake_case literals, registered once per name",
+		Doc:  "obs metric and span names must be snake_case literals with a single registration site per name",
 	}
 	a.Run = func(pass *Pass) { runObsnames(pass, cfg) }
 	a.Finish = finishObsnames
@@ -79,9 +106,7 @@ func Obsnames(cfg ObsnamesConfig) *Analyzer {
 }
 
 func runObsnames(pass *Pass, cfg ObsnamesConfig) {
-	facts := pass.State.Get(obsnamesFactKey, func() any {
-		return &obsnamesFacts{sites: map[string][]token.Position{}}
-	}).(*obsnamesFacts)
+	facts := pass.State.Get(obsnamesFactKey, newObsnamesFacts).(*obsnamesFacts)
 	info := pass.Pkg.TypesInfo
 
 	allowedPrefixes := []string{pass.Pkg.Name}
@@ -99,17 +124,34 @@ func runObsnames(pass *Pass, cfg ObsnamesConfig) {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !registryMethods[sel.Sel.Name] {
+			if !ok {
+				return true
+			}
+			isMetric := registryMethods[sel.Sel.Name]
+			isSpan := tracerMethods[sel.Sel.Name] && cfg.SpanPkgSuffix != ""
+			if !isMetric && !isSpan {
 				return true
 			}
 			recv, ok := info.Types[sel.X]
-			if !ok || !typeIs(recv.Type, cfg.RegistryPkgSuffix, cfg.RegistryTypeName) {
+			if !ok {
 				return true
+			}
+			switch {
+			case isMetric && typeIs(recv.Type, cfg.RegistryPkgSuffix, cfg.RegistryTypeName):
+				isSpan = false
+			case isSpan && typeIs(recv.Type, cfg.SpanPkgSuffix, cfg.SpanTypeName):
+				isMetric = false
+			default:
+				return true
+			}
+			kind := "metric"
+			if isSpan {
+				kind = "span"
 			}
 			nameArg := call.Args[0]
 			tv, ok := info.Types[nameArg]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				pass.Reportf(nameArg.Pos(), "metric name passed to Registry.%s must be a compile-time string literal", sel.Sel.Name)
+				pass.Reportf(nameArg.Pos(), "%s name passed to %s.%s must be a compile-time string literal", kind, watchedTypeName(cfg, isSpan), sel.Sel.Name)
 				return true
 			}
 			name, err := strconv.Unquote(tv.Value.ExactString())
@@ -117,7 +159,18 @@ func runObsnames(pass *Pass, cfg ObsnamesConfig) {
 				name = strings.Trim(tv.Value.ExactString(), `"`)
 			}
 			if !metricNameRE.MatchString(name) {
-				pass.Reportf(nameArg.Pos(), "metric name %q is not prefixed snake_case (want e.g. %q)", name, allowedPrefixes[0]+"_total")
+				if isSpan {
+					pass.Reportf(nameArg.Pos(), "span name %q is not snake_case with >= 2 segments (want e.g. %q)", name, "fib_commit")
+				} else {
+					pass.Reportf(nameArg.Pos(), "metric name %q is not prefixed snake_case (want e.g. %q)", name, allowedPrefixes[0]+"_total")
+				}
+				return true
+			}
+			if isSpan {
+				// Span names are a repo-wide stage vocabulary (mifo-conv
+				// aggregates by them across subsystems), so no component
+				// prefix is required — only literal + single site.
+				facts.spanSites[name] = append(facts.spanSites[name], pass.Pkg.Fset.Position(nameArg.Pos()))
 				return true
 			}
 			prefix, _, _ := strings.Cut(name, "_")
@@ -138,26 +191,37 @@ func runObsnames(pass *Pass, cfg ObsnamesConfig) {
 	}
 }
 
+// watchedTypeName names the watched receiver type in diagnostics.
+func watchedTypeName(cfg ObsnamesConfig, span bool) string {
+	if span {
+		return cfg.SpanTypeName
+	}
+	return cfg.RegistryTypeName
+}
+
 // finishObsnames reports names registered from more than one call site.
 // The first site (in position order) is treated as the owner; every other
-// site is flagged.
+// site is flagged. Metric and span names are separate namespaces, each
+// with its own single-site rule.
 func finishObsnames(s *State, report func(Diagnostic)) {
-	facts := s.Get(obsnamesFactKey, func() any {
-		return &obsnamesFacts{sites: map[string][]token.Position{}}
-	}).(*obsnamesFacts)
-	for name, sites := range facts.sites {
-		if len(sites) < 2 {
+	facts := s.Get(obsnamesFactKey, newObsnamesFacts).(*obsnamesFacts)
+	reportDups(facts.sites, "metric %q is already registered at %s:%d: two call sites silently alias one series", report)
+	reportDups(facts.spanSites, "span %q is already started at %s:%d: two call sites silently merge two pipeline stages", report)
+}
+
+func reportDups(sites map[string][]token.Position, format string, report func(Diagnostic)) {
+	for name, ps := range sites {
+		if len(ps) < 2 {
 			continue
 		}
-		owner := sites[0]
-		for _, p := range sites[1:] {
+		owner := ps[0]
+		for _, p := range ps[1:] {
 			if p.Filename == owner.Filename && p.Line == owner.Line {
 				continue
 			}
 			report(Diagnostic{
-				Pos: p,
-				Message: fmt.Sprintf("metric %q is already registered at %s:%d: two call sites silently alias one series",
-					name, owner.Filename, owner.Line),
+				Pos:      p,
+				Message:  fmt.Sprintf(format, name, owner.Filename, owner.Line),
 				Analyzer: "obsnames",
 			})
 		}

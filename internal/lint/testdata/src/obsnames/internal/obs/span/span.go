@@ -1,0 +1,20 @@
+// Package span is a corpus-local model of the convergence tracer: the
+// obsnames analyzer locates it by the "internal/obs/span" path suffix.
+package span
+
+type Context struct{ Trace, Span uint64 }
+
+type Span struct {
+	Node int32
+	A, B int64
+	V    float64
+}
+
+func (s *Span) End() {}
+
+func (s Span) Context() Context { return Context{} }
+
+type Tracer struct{}
+
+func (t *Tracer) StartRoot(name string, node int32) Span             { return Span{} }
+func (t *Tracer) Start(name string, parent Context, node int32) Span { return Span{} }

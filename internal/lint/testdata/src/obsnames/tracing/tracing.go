@@ -1,0 +1,30 @@
+// Package tracing starts spans; span names must be snake_case literals
+// started at exactly one call site, but carry no component prefix (they
+// are the repo-wide stage vocabulary, not per-subsystem series).
+package tracing
+
+import (
+	"obsnames/internal/obs"
+	"obsnames/internal/obs/span"
+)
+
+const stageEpoch = "daemon_epoch"
+
+func instrument(tr *span.Tracer, r *obs.Registry, dyn string) {
+	root := tr.StartRoot("conv_link_down", -1)
+	child := tr.Start("fib_commit", root.Context(), 3)
+	child.End()
+	ep := tr.Start(stageEpoch, root.Context(), 0) // a named constant is still a literal
+	ep.End()
+	root.End()
+
+	// Span and metric names are separate namespaces: sharing one is fine.
+	tr.StartRoot("tracing_ticks", 0)
+	r.Counter("tracing_ticks", "same name as the span above, no conflict")
+
+	tr.Start(dyn, root.Context(), 0)              // want `must be a compile-time string literal`
+	tr.StartRoot("FibCommit", 0)                  // want `not snake_case`
+	tr.StartRoot("commit", 0)                     // want `not snake_case`
+	tr.StartRoot("tracing_dup_op", 0)             // first site owns the name
+	tr.Start("tracing_dup_op", root.Context(), 0) // want `already started at`
+}

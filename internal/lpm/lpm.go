@@ -154,6 +154,9 @@ func (t *Table[V]) Begin() *Txn[V] {
 	return &Txn[V]{t: t, root: cur.root, n: cur.n, stamp: cur.id + 1}
 }
 
+// Dirty reports whether the transaction has staged an effective change.
+func (tx *Txn[V]) Dirty() bool { return tx.dirty }
+
 // Commit publishes the staged generation with a single pointer swap and
 // releases the writer lock, returning the published generation id.
 func (tx *Txn[V]) Commit() uint64 {

@@ -25,7 +25,7 @@ func (s *Sim) handleFail(f LinkFailure) {
 	if s.repairedTab == nil {
 		s.repairedTab = s.tab.Clone()
 	}
-	s.repairedTab.LinkDown(f.A, f.B)
+	s.linkDownRepair(f)
 	s.lastChangeAt = s.now
 
 	for _, fi := range s.active {
@@ -54,7 +54,7 @@ func (s *Sim) handleRecover(f LinkFailure) {
 	s.capac[s.linkID(f.A, f.B)] = s.cfg.LinkCapacityBps
 	s.capac[s.linkID(f.B, f.A)] = s.cfg.LinkCapacityBps
 	if s.repairedTab != nil {
-		s.repairedTab.LinkUp(f.A, f.B)
+		s.linkUpRepair(f)
 	}
 	s.lastChangeAt = s.now
 

@@ -19,9 +19,11 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/bgp"
+	"repro/internal/core"
 	"repro/internal/eventq"
 	"repro/internal/miro"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -117,6 +119,16 @@ type Config struct {
 	// repair), each run through the online invariant auditor. MIRO paths
 	// are not recorded (see recordFlowPath).
 	Recorder *audit.Recorder
+
+	// Spans, when non-nil, traces every injected link event end to end:
+	// the incremental route recompute, and — on a router-level mirror
+	// deployment kept consistent with the repaired control plane — the
+	// daemon epochs, per-router FIB commits, and data-plane generation
+	// swaps the event causes. Each event becomes one span tree rooted at
+	// conv_link_down / conv_link_up whose root duration is the wall-clock
+	// time from failure injection to data-plane consistency (see
+	// internal/obs/span and cmd/mifo-conv).
+	Spans *span.Tracer
 
 	// Failures injects link failures (an extension experiment: MIFO's
 	// data-plane deflection reacts to a dead egress instantly, while BGP
@@ -236,6 +248,9 @@ type Sim struct {
 	// cycle of the same link reuses the evolved tables.
 	repairedTab  *bgp.Table
 	lastChangeAt float64 // time of the latest failure or recovery
+	// mirror is the convergence-tracing router mirror (see convergence.go),
+	// built lazily on the first traced link event.
+	mirror *core.Deployment
 
 	flows   []*flowState
 	active  []int32 // indices of in-flight flows, insertion order
@@ -379,6 +394,9 @@ func (s *Sim) precomputeRoutes(flows []traffic.Flow) error {
 	}
 	sort.Ints(dsts)
 	s.tab = bgp.NewTable(s.g, dsts, s.cfg.Workers)
+	// The repaired table is a Clone of this one, so attaching the tracer
+	// here makes every incremental recompute after a link event traced.
+	s.tab.SetTracer(s.cfg.Spans)
 	return nil
 }
 

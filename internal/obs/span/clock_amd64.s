@@ -1,0 +1,11 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func rdtsc() int64
+TEXT ·rdtsc(SB), NOSPLIT, $0-8
+	RDTSC
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,323 @@
+package span
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options configure a Tracer. The zero value keeps spans in memory only
+// (ring segments with nothing draining them into a sink still feed
+// Stats) and exports no metrics.
+type Options struct {
+	// Writer, when non-nil, receives one JSONL line per finished span as
+	// the collector drains it. The collector serializes writes; buffering
+	// and closing the underlying file are the caller's job.
+	Writer io.Writer
+	// Segments is the number of ring segments span records are sharded
+	// over, rounded up to a power of two (default 8). SegmentCap is each
+	// segment's capacity in records, rounded up to a power of two
+	// (default 4096). A full segment sheds records rather than stalling
+	// the instrumented pipeline.
+	Segments   int
+	SegmentCap int
+	// Poll is the collector's drain period (default 1ms).
+	Poll time.Duration
+	// Registry, when non-nil, exports span_records_total,
+	// span_traces_total, span_dropped_total, span_backpressure_total,
+	// span_queue_depth/highwater gauges, and the per-stage duration
+	// histogram span_stage_seconds{stage}.
+	Registry *obs.Registry
+	// Clock overrides the monotonic timestamp source (nanoseconds since
+	// an arbitrary origin). Tests use it for deterministic durations; nil
+	// uses the wall clock's monotonic reading since tracer creation.
+	Clock func() int64
+}
+
+// Stats is a snapshot of a tracer's counters.
+type Stats struct {
+	// Records counts spans collected; Roots counts the subset that were
+	// trace roots (failure events, for the convergence instrumentation).
+	Records uint64
+	Roots   uint64
+	// Dropped counts spans shed because a ring segment stayed full;
+	// Backpressure counts ring-full events where the producer yielded
+	// once before retrying.
+	Dropped      uint64
+	Backpressure uint64
+}
+
+// collector commands.
+type cmdKind uint8
+
+const (
+	// cmdDrain: drain every ring segment and return (Stats/Flush barrier).
+	cmdDrain cmdKind = iota
+	// cmdClose: drain, publish, and stop the collector.
+	cmdClose
+)
+
+type cmd struct {
+	kind cmdKind
+	done chan error
+}
+
+// collector is the cold half of the Tracer: a background goroutine
+// drains the ring segments on a short poll, writes records as JSONL,
+// and mirrors counters into obs. The fields are grouped here so span.go
+// stays all hot path.
+type collector struct {
+	closed atomic.Bool
+	cmds   chan cmd
+	done   chan struct{}
+
+	// mu guards the snapshot state shared with callers.
+	mu      sync.Mutex
+	stats   Stats
+	sinkErr error
+
+	// Collector-goroutine-owned state; no locking (single goroutine).
+	enc                         *json.Encoder
+	poll                        time.Duration
+	records, roots              uint64
+	highwater                   uint64
+	pubDropped, pubBackpressure int64
+
+	recTotal, rootTotal             *obs.Counter
+	droppedTotal, backpressureTotal *obs.Counter
+	queueDepth, queueHigh           *obs.Gauge
+	stageVec                        *obs.HistogramVec
+	// stageHist caches label resolution so the drain loop skips the
+	// family lock for names it has already seen.
+	stageHist map[string]*obs.Histogram
+}
+
+// ceilPow2 rounds n up to a power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New builds a tracer from options, enabled, and starts its collector.
+// Call Close when done; a tracer that is never closed leaks one
+// goroutine and leaves undrained spans in its rings.
+func New(o Options) *Tracer {
+	t := &Tracer{
+		epoch: time.Now(),
+		clock: o.Clock,
+	}
+	if t.clock == nil {
+		tscOnce.Do(calibrateTSC)
+		t.tscScale = tscScale
+		t.tscEpoch = rdtsc()
+	}
+	t.cmds = make(chan cmd)
+	t.done = make(chan struct{})
+	t.poll = o.Poll
+	if t.poll <= 0 {
+		t.poll = time.Millisecond
+	}
+	if t.poll < 200*time.Microsecond {
+		t.poll = 200 * time.Microsecond
+	}
+	if o.Writer != nil {
+		t.enc = json.NewEncoder(o.Writer)
+	}
+	nseg := o.Segments
+	if nseg <= 0 {
+		nseg = 8
+	}
+	nseg = ceilPow2(nseg)
+	segCap := o.SegmentCap
+	if segCap <= 0 {
+		segCap = 4096
+	}
+	segCap = ceilPow2(segCap)
+	t.segs = make([]segment, nseg)
+	t.segMask = uint64(nseg - 1)
+	for i := range t.segs {
+		t.segs[i].init(segCap)
+	}
+	if o.Registry != nil {
+		t.recTotal = o.Registry.Counter("span_records_total", "spans collected from the tracing rings")
+		t.rootTotal = o.Registry.Counter("span_traces_total", "root spans collected (one per traced failure event)")
+		t.droppedTotal = o.Registry.Counter("span_dropped_total", "spans shed because a ring segment stayed full")
+		t.backpressureTotal = o.Registry.Counter("span_backpressure_total", "ring-full events where a producer yielded before retrying")
+		t.queueDepth = o.Registry.Gauge("span_queue_depth", "span records pending in the tracing ring segments")
+		t.queueHigh = o.Registry.Gauge("span_queue_highwater", "highest pending span-record count observed")
+		t.stageVec = o.Registry.HistogramVec("span_stage_seconds", "span duration by pipeline stage",
+			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1}, "stage")
+		t.stageHist = make(map[string]*obs.Histogram)
+	}
+	t.enabled.Store(true)
+	go t.run()
+	return t
+}
+
+// run is the collector loop: drain on a short poll, service the barrier
+// commands behind Stats, Flush and Close.
+func (t *Tracer) run() {
+	defer close(t.done)
+	tick := time.NewTicker(t.poll)
+	defer tick.Stop()
+	for {
+		select {
+		case c := <-t.cmds:
+			t.drainAll()
+			t.publish()
+			c.done <- t.firstSinkErr()
+			if c.kind == cmdClose {
+				return
+			}
+		case <-tick.C:
+			t.drainAll()
+			t.publish()
+		}
+	}
+}
+
+// drainAll sweeps every segment until one full sweep finds nothing,
+// bounded so a saturating producer cannot starve the command channel.
+func (t *Tracer) drainAll() {
+	for sweep := 0; sweep < 1024; sweep++ {
+		var depth uint64
+		for i := range t.segs {
+			depth += t.segs[i].pending()
+		}
+		if depth > t.highwater {
+			t.highwater = depth
+		}
+		n := 0
+		for i := range t.segs {
+			n += t.segs[i].drain(t.process)
+		}
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// process handles one drained record: count it, observe its stage
+// duration, and hand it to the sink (collector only).
+func (t *Tracer) process(rec *Record) {
+	t.records++
+	if rec.Parent == 0 {
+		t.roots++
+	}
+	if t.recTotal != nil {
+		t.recTotal.Inc()
+		if rec.Parent == 0 {
+			t.rootTotal.Inc()
+		}
+		h, ok := t.stageHist[rec.Name]
+		if !ok {
+			h = t.stageVec.With(rec.Name)
+			t.stageHist[rec.Name] = h
+		}
+		h.Observe(rec.Duration().Seconds())
+	}
+	if t.enc != nil {
+		if err := t.enc.Encode(rec); err != nil {
+			t.noteSinkErr(err)
+		}
+	}
+}
+
+// publish mirrors collector-owned counters and the hot-side shed
+// accounting into the stats snapshot and the obs registry (collector
+// only).
+func (t *Tracer) publish() {
+	d := t.hotDropped.Load()
+	bp := t.hotBackpressure.Load()
+	t.mu.Lock()
+	t.stats.Records = t.records
+	t.stats.Roots = t.roots
+	t.stats.Dropped = uint64(d)
+	t.stats.Backpressure = uint64(bp)
+	t.mu.Unlock()
+	if t.droppedTotal == nil {
+		return
+	}
+	t.droppedTotal.Add(d - t.pubDropped)
+	t.pubDropped = d
+	t.backpressureTotal.Add(bp - t.pubBackpressure)
+	t.pubBackpressure = bp
+	var depth uint64
+	for i := range t.segs {
+		depth += t.segs[i].pending()
+	}
+	t.queueDepth.Set(float64(depth))
+	t.queueHigh.Set(float64(t.highwater))
+}
+
+// noteSinkErr retains the first sink error (collector only).
+func (t *Tracer) noteSinkErr(err error) {
+	t.mu.Lock()
+	if t.sinkErr == nil {
+		t.sinkErr = err
+	}
+	t.mu.Unlock()
+}
+
+// firstSinkErr snapshots the retained sink error.
+func (t *Tracer) firstSinkErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// command runs one barrier command through the collector; after Close
+// it degrades to reporting the retained sink error.
+func (t *Tracer) command(kind cmdKind) error {
+	c := cmd{kind: kind, done: make(chan error, 1)}
+	select {
+	case t.cmds <- c:
+		return <-c.done
+	case <-t.done:
+		return t.firstSinkErr()
+	}
+}
+
+// Flush drains every span pushed before the call into the sink and
+// returns the first sink error seen so far.
+func (t *Tracer) Flush() error {
+	return t.command(cmdDrain)
+}
+
+// Close disables the tracer, drains every ring segment, stops the
+// collector, and returns the first sink error. Spans still live at
+// Close are harmless: their End pushes land in the rings and are never
+// drained.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.enabled.Store(false)
+	if t.closed.Swap(true) {
+		return t.command(cmdDrain)
+	}
+	return t.command(cmdClose)
+}
+
+// Stats drains everything pushed before the call and returns a snapshot
+// of the tracer's counters. A nil tracer returns zeros.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.command(cmdDrain)
+	return t.statsSnapshot()
+}
+
+func (t *Tracer) statsSnapshot() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

@@ -1,0 +1,97 @@
+package span
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// The hot half of the tracer: finished spans are fixed-size Records
+// pushed into lock-free ring segments, the same design as the audit
+// recorder's rings. A producer (a recompute worker, a daemon epoch, a
+// FIB commit) claims a segment with a CAS latch, copies one Record into
+// the ring, bumps the write cursor, and releases — no mutex, no channel,
+// no allocation. Segments are selected by span-ID hash so concurrent
+// producers spread over latches; record order across segments does not
+// matter because every Record carries its own timestamps and parent
+// link, and the analyzer reassembles trees by ID.
+
+// segment is one ring: a power-of-two buffer with a producer-side CAS
+// latch and atomic cursors. The latch serializes concurrent producers
+// that hash to the same segment; the cursors carry the release/acquire
+// edge to the single consumer (the collector), which never takes the
+// latch.
+type segment struct {
+	buf   []Record
+	mask  uint64
+	latch atomic.Uint32
+	w     atomic.Uint64
+	// rCache is the producers' stale copy of r (guarded by the latch):
+	// the consumer's cursor cache line is touched only when the ring
+	// looks full, not on every push.
+	rCache uint64
+	_      [40]byte // keep the consumer cursor off the producers' cache line
+	r      atomic.Uint64
+}
+
+func (s *segment) init(capacity int) {
+	s.buf = make([]Record, capacity)
+	s.mask = uint64(capacity - 1)
+}
+
+// pending returns how many records are buffered (approximate under
+// concurrent pushes; exact from the consumer side).
+func (s *segment) pending() uint64 { return s.w.Load() - s.r.Load() }
+
+// tryPush copies one record into the ring. It returns false without
+// blocking when the ring lacks room; the tracer owns the retry/shed
+// policy and its accounting.
+//
+//mifo:hotpath
+func (s *segment) tryPush(rec *Record) bool {
+	s.lock()
+	w := s.w.Load()
+	if w+1-s.rCache > uint64(len(s.buf)) {
+		s.rCache = s.r.Load()
+		if w+1-s.rCache > uint64(len(s.buf)) {
+			s.unlock()
+			return false
+		}
+	}
+	s.buf[w&s.mask] = *rec
+	s.w.Store(w + 1)
+	s.unlock()
+	return true
+}
+
+// lock spins on the CAS latch. Producers hold it for a handful of plain
+// stores, so contention is bounded and brief.
+//
+//mifo:hotpath
+func (s *segment) lock() {
+	for !s.latch.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+//mifo:hotpath
+func (s *segment) unlock() { s.latch.Store(0) }
+
+// drain invokes fn on every buffered record in place, then advances the
+// read cursor, and returns the number drained. Only the collector calls
+// it. Processing in place is safe: producers never overwrite a slot
+// until r has advanced past it.
+func (s *segment) drain(fn func(*Record)) int {
+	r := s.r.Load()
+	w := s.w.Load()
+	for i := r; i != w; i++ {
+		fn(&s.buf[i&s.mask])
+	}
+	s.r.Store(w)
+	return int(w - r)
+}
+
+// yield lets the collector run once when a producer finds its segment
+// full (the backpressure half of the shed-not-stall policy).
+//
+//mifo:hotpath
+func yield() { runtime.Gosched() }
