@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race audit-race fib-race span-race conv-smoke vet lint bench bench-json fuzz figures testbed results clean
+.PHONY: all build test race audit-race fib-race span-race tsdb-race conv-smoke vet lint bench bench-json fuzz figures testbed results clean
 
 all: build test
 
@@ -52,6 +52,14 @@ span-race:
 	$(GO) test -race -count=5 ./internal/obs/span
 	$(GO) test -race -count=2 -run 'Convergence|Trace' ./internal/netsim ./internal/bgpsim
 
+# The tsdb concurrency surface: the single-writer sample path racing
+# snapshot/query/episode readers — both the store's own torn-read tests
+# and the debug mux serving every endpoint while a sampler runs flat out,
+# plus the simulator feeding a live store per epoch.
+tsdb-race:
+	$(GO) test -race -count=5 ./internal/obs/tsdb
+	$(GO) test -race -count=2 -run 'TSDB|DebugTSDB' ./internal/obs ./internal/netsim ./internal/packetsim
+
 # End-to-end convergence gate, same as CI: every failure event injected by
 # a resilience run must provably reach data-plane consistency.
 conv-smoke:
@@ -59,7 +67,7 @@ conv-smoke:
 	$(GO) run ./cmd/mifo-conv -events -min-events 6 /tmp/mifo-spans.jsonl
 
 bench:
-	$(GO) test -run xxx -bench=. -benchmem . ./internal/dataplane ./internal/audit ./internal/bgp ./internal/lpm ./internal/obs/span
+	$(GO) test -run xxx -bench=. -benchmem . ./internal/dataplane ./internal/audit ./internal/bgp ./internal/lpm ./internal/obs/span ./internal/obs/tsdb
 
 # Machine-readable benchmark results for regression tracking: the
 # forwarding hot path plus the flight recorder at every setting
@@ -71,6 +79,8 @@ bench-json:
 	@echo "wrote BENCH_dataplane.json"
 	$(GO) test -run xxx -bench 'FIBLookup|FIBCommit|TableIncremental|TableFullRebuild' -benchmem -json ./internal/dataplane ./internal/bgp > BENCH_routing.json
 	@echo "wrote BENCH_routing.json"
+	$(GO) test -run xxx -bench 'Sample|Query|Analyze' -benchmem -json ./internal/obs/tsdb > BENCH_tsdb.json
+	@echo "wrote BENCH_tsdb.json"
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

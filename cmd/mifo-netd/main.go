@@ -21,6 +21,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/netd"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/topo"
 )
 
@@ -80,11 +81,17 @@ func main() {
 		fabric.EnableTrace(tr)
 		dep.Trace = tr
 		runtime.Instrument(fabric.Registry())
-		_, addr, err := obs.ServeDebug(*dbgAddr, fabric.Registry(), tr)
+		// Per-port utilization lands in the embedded TSDB; browse it (and
+		// run episode detection) at /debug/tsdb while the fabric runs.
+		db := tsdb.NewStore(tsdb.Options{})
+		fabric.AttachTSDB(db)
+		dep.AttachTSDB(db)
+		srv, err := obs.ServeDebug(*dbgAddr, fabric.Registry(), tr, db)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("debug server on http://%v (/metrics, /debug/vars, /debug/trace, /debug/pprof/)\n", addr)
+		fmt.Printf("debug server on %s (/metrics, /debug/vars, /debug/trace, /debug/tsdb/, /debug/pprof/)\n", srv.URL())
+		defer srv.Close()
 	}
 
 	fabric.Start()

@@ -50,11 +50,12 @@ func main() {
 		// scrapes, so the install and refresh below are observable.
 		reg := obs.NewRegistry()
 		dep.Instrument(reg)
-		_, addr, err := obs.ServeDebug(*dbgAddr, reg, nil)
+		srv, err := obs.ServeDebug(*dbgAddr, reg, nil, nil)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("debug server on http://%v (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+		fmt.Printf("debug server on %s (/metrics, /debug/vars, /debug/pprof/)\n", srv.URL())
+		defer srv.Close()
 	}
 	dep.InstallDestination(bgp.Compute(g, 0))
 

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +19,11 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/experiments"
+	"repro/internal/jsonl"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		fltFlush = flag.Duration("flight-flush", 0, "seal a partial flight-log batch after this long (0 = default 50ms)")
 		fltPlain = flag.Bool("flight-plain", false, "stream flight records without Merkle seals (not verifiable with mifo-trace -verify)")
 		spanLog  = flag.String("span-log", "", "trace injected link failures to data-plane consistency as JSONL spans here (analyse with mifo-conv)")
+		tsdbLog  = flag.String("tsdb-log", "", "dump per-link utilization/deflection/offload time series as JSONL here (analyse with mifo-top -log)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -57,16 +59,24 @@ func main() {
 	expDone := reg.CounterVec("sim_experiments_total", "experiments finished, by outcome", "outcome")
 	expDur := reg.Histogram("sim_experiment_seconds", "wall-clock duration of one experiment",
 		[]float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800})
+	// The embedded TSDB collects per-link utilization, deflection and
+	// offload series from every simulation run; it backs both the
+	// -tsdb-log dump and the live /debug/tsdb endpoint.
+	var db *tsdb.Store
+	if *tsdbLog != "" || *dbgAddr != "" {
+		db = tsdb.NewStore(tsdb.Options{})
+	}
 	if *dbgAddr != "" {
-		_, addr, err := obs.ServeDebug(*dbgAddr, reg, nil)
+		srv, err := obs.ServeDebug(*dbgAddr, reg, nil, db)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mifo-sim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("# debug server on http://%v (/metrics, /debug/vars, /debug/pprof/)\n", addr)
+		fmt.Printf("# debug server on %s (/metrics, /debug/vars, /debug/tsdb/, /debug/pprof/)\n", srv.URL())
+		defer srv.Close()
 	}
 
-	o := experiments.Options{N: *n, Flows: *flows, PairSamples: *pairs, ArrivalRate: *rate, Seed: *seed, Workers: *workers}
+	o := experiments.Options{N: *n, Flows: *flows, PairSamples: *pairs, ArrivalRate: *rate, Seed: *seed, Workers: *workers, TSDB: db}
 
 	// Flight recorder: every simulated path is recorded as a JSONL record
 	// and audited online against MIFO's loop/valley invariants. The log is
@@ -74,14 +84,13 @@ func main() {
 	// loop, before any exit, so the log is always flushed.
 	finishFlight := func() bool { return true }
 	if *fltLog != "" {
-		f, err := os.Create(*fltLog)
+		sink, err := jsonl.Create(*fltLog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mifo-sim:", err)
 			os.Exit(1)
 		}
-		w := bufio.NewWriterSize(f, 1<<20)
 		rec := audit.NewRecorder(audit.Options{
-			Sample: *fltRate, Writer: w, Registry: reg,
+			Sample: *fltRate, Writer: sink, Registry: reg,
 			BatchSize: *fltBatch, FlushInterval: *fltFlush, Plain: *fltPlain,
 		})
 		o.Recorder = rec
@@ -89,10 +98,7 @@ func main() {
 			if err := rec.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "mifo-sim: flight recorder:", err)
 			}
-			if err := w.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "mifo-sim: flight log:", err)
-			}
-			if err := f.Close(); err != nil {
+			if err := sink.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "mifo-sim: flight log:", err)
 			}
 			st := rec.Stats()
@@ -110,13 +116,12 @@ func main() {
 	// data-plane consistency. The log is what mifo-conv consumes.
 	finishSpans := func() bool { return true }
 	if *spanLog != "" {
-		f, err := os.Create(*spanLog)
+		sink, err := jsonl.Create(*spanLog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mifo-sim:", err)
 			os.Exit(1)
 		}
-		w := bufio.NewWriterSize(f, 1<<20)
-		tr := span.New(span.Options{Writer: w, Registry: reg})
+		tr := span.New(span.Options{Writer: sink, Registry: reg})
 		o.Spans = tr
 		finishSpans = func() bool {
 			ok := true
@@ -124,17 +129,41 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mifo-sim: span tracer:", err)
 				ok = false
 			}
-			if err := w.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "mifo-sim: span log:", err)
-				ok = false
-			}
-			if err := f.Close(); err != nil {
+			if err := sink.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "mifo-sim: span log:", err)
 				ok = false
 			}
 			st := tr.Stats()
 			fmt.Printf("# span log: %d spans across %d failure events (%d shed) -> %s\n",
 				st.Records, st.Roots, st.Dropped, *spanLog)
+			return ok
+		}
+	}
+
+	// TSDB dump: the whole run's time series, written once after the
+	// experiment loop. The log is what mifo-top -log consumes; the episode
+	// summary printed here uses the same analyzer.
+	finishTSDB := func() bool { return true }
+	if *tsdbLog != "" {
+		finishTSDB = func() bool {
+			sink, err := jsonl.Create(*tsdbLog)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: tsdb log:", err)
+				return false
+			}
+			ok := true
+			if err := db.WriteDump(sink); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: tsdb log:", err)
+				ok = false
+			}
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-sim: tsdb log:", err)
+				ok = false
+			}
+			rep := tsdb.AnalyzeStore(db, tsdb.EpisodeSpec{})
+			fmt.Printf("# tsdb log: %d series scanned, %d congestion episodes on %d links (%d deflections, %.3g offloaded bits) -> %s\n",
+				rep.SeriesScanned, len(rep.Episodes), rep.LinksWithEpisodes,
+				rep.TotalDeflections, rep.TotalOffloadBits, *tsdbLog)
 			return ok
 		}
 	}
@@ -161,6 +190,9 @@ func main() {
 	}
 	clean := finishFlight()
 	if !finishSpans() {
+		clean = false
+	}
+	if !finishTSDB() {
 		clean = false
 	}
 	if failed > 0 {

@@ -1,0 +1,368 @@
+// mifo-top shows what MIFO's data plane is doing to congested links: the
+// hottest links by utilization, detected congestion episodes, and the
+// offload attribution joining each episode to the deflections that
+// relieved it (Fig. 8's offload scalar, resolved per link).
+//
+// It consumes either a live /debug/tsdb endpoint or an offline dump:
+//
+//	mifo-top -addr http://127.0.0.1:6061     # live view, refreshed every -interval
+//	mifo-top -addr :6061 -once               # one JSON snapshot to stdout
+//	mifo-top -log tsdb.jsonl                 # analyze a mifo-sim -tsdb-log dump
+//	mifo-top -log tsdb.jsonl -flight f.jsonl # join per-AS flight-recorder deflections
+//	mifo-top -log tsdb.jsonl -min-episodes 1 # CI gate: exit 1 below the floor
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/obs/tsdb"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "debug server base (http://host:port, host:port or :port) serving /debug/tsdb")
+		logPath     = flag.String("log", "", "offline mode: analyze this mifo-sim -tsdb-log dump instead of a live endpoint")
+		flight      = flag.String("flight", "", "also join a flight-recorder JSONL log: per-AS deflected-journey counts against each episode's link")
+		once        = flag.Bool("once", false, "print one JSON snapshot (spec, top links, episode report) and exit")
+		interval    = flag.Duration("interval", 2*time.Second, "live-view refresh period")
+		topN        = flag.Int("top", 10, "links shown in the utilization table")
+		threshold   = flag.Float64("threshold", 0, "override the installed episode threshold (0 = use the spec's)")
+		window      = flag.Int64("window", 0, "override the installed episode window, in the series' timestamp unit (0 = use the spec's)")
+		minEpisodes = flag.Int("min-episodes", 0, "exit non-zero when fewer congestion episodes are detected (CI gate)")
+	)
+	flag.Parse()
+	if (*addr == "") == (*logPath == "") {
+		fmt.Fprintln(os.Stderr, "mifo-top: exactly one of -addr or -log is required")
+		os.Exit(2)
+	}
+
+	var snap *snapshot
+	var err error
+	if *logPath != "" {
+		snap, err = loadDump(*logPath, *threshold, *window)
+	} else {
+		snap, err = fetch(baseURL(*addr), *threshold, *window)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mifo-top:", err)
+		os.Exit(1)
+	}
+	if *flight != "" {
+		if err := joinFlight(snap, *flight); err != nil {
+			fmt.Fprintln(os.Stderr, "mifo-top:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *once:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintln(os.Stderr, "mifo-top:", err)
+			os.Exit(1)
+		}
+	case *logPath != "":
+		render(os.Stdout, snap, *topN)
+	default:
+		// Live view: redraw until interrupted. The gate below still runs
+		// if the poll loop ever errors out.
+		for {
+			fmt.Print("\033[H\033[2J")
+			render(os.Stdout, snap, *topN)
+			fmt.Printf("\n[%s] refreshing every %v — Ctrl-C to quit\n",
+				time.Now().Format("15:04:05"), *interval)
+			time.Sleep(*interval)
+			next, err := fetch(baseURL(*addr), *threshold, *window)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mifo-top:", err)
+				os.Exit(1)
+			}
+			snap = next
+		}
+	}
+
+	if *minEpisodes > 0 && len(snap.Report.Episodes) < *minEpisodes {
+		fmt.Fprintf(os.Stderr, "mifo-top: %d congestion episodes detected, want >= %d\n",
+			len(snap.Report.Episodes), *minEpisodes)
+		os.Exit(1)
+	}
+}
+
+// snapshot is everything one view renders; -once emits it verbatim.
+type snapshot struct {
+	Spec tsdb.EpisodeSpec `json:"spec"`
+	// Links is the utilization table, hottest first.
+	Links []linkRow `json:"links"`
+	// Report is the episode analysis under the effective spec.
+	Report *tsdb.Report `json:"report"`
+	// DeflectionsByAS joins the flight log (when -flight is given):
+	// deflected-journey counts keyed by the AS that deflected.
+	DeflectionsByAS map[string]int `json:"deflections_by_as,omitempty"`
+}
+
+// linkRow is one util series' live state.
+type linkRow struct {
+	Series string  `json:"series"`
+	Last   float64 `json:"last"`
+	Peak   float64 `json:"peak"`
+	Points uint64  `json:"points"`
+}
+
+// loadDump reads a mifo-sim -tsdb-log file and analyzes it offline.
+func loadDump(path string, threshold float64, window int64) (*snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	series, spec, err := tsdb.ReadDump(f)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Util == "" {
+		return nil, fmt.Errorf("%s carries no episode spec (not a tsdb dump?)", path)
+	}
+	if threshold > 0 {
+		spec.Threshold = threshold
+	}
+	if window > 0 {
+		spec.Window = window
+	}
+	snap := &snapshot{Spec: spec, Report: tsdb.Analyze(series, spec)}
+	for _, sd := range series {
+		if sd.Name != spec.Util || len(sd.Points) == 0 {
+			continue
+		}
+		row := linkRow{Series: strings.Join(sd.Values, "/"), Points: uint64(len(sd.Points))}
+		row.Last = sd.Points[len(sd.Points)-1].V
+		for _, p := range sd.Points {
+			if p.V > row.Peak {
+				row.Peak = p.V
+			}
+		}
+		snap.Links = append(snap.Links, row)
+	}
+	sortLinks(snap.Links)
+	return snap, nil
+}
+
+// indexSummary mirrors the /debug/tsdb index entries mifo-top needs.
+type indexSummary struct {
+	Name   string      `json:"name"`
+	Values []string    `json:"values"`
+	Total  uint64      `json:"total_points"`
+	Latest *tsdb.Point `json:"latest"`
+}
+
+// baseURL normalizes -addr into an http base: ":6061" and "host:6061"
+// both work, matching what ServeDebug prints.
+func baseURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimRight(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// fetch pulls one live snapshot from a /debug/tsdb endpoint.
+func fetch(base string, threshold float64, window int64) (*snapshot, error) {
+	var idx struct {
+		Spec   tsdb.EpisodeSpec `json:"spec"`
+		Series []indexSummary   `json:"series"`
+	}
+	if err := getJSON(base+"/debug/tsdb/", &idx); err != nil {
+		return nil, err
+	}
+	snap := &snapshot{Spec: idx.Spec}
+	for _, s := range idx.Series {
+		if s.Name != idx.Spec.Util || s.Latest == nil {
+			continue
+		}
+		// The live index has no per-point history; peak tracks the latest
+		// sample (query the /query endpoint for full history).
+		snap.Links = append(snap.Links, linkRow{
+			Series: strings.Join(s.Values, "/"),
+			Last:   s.Latest.V, Peak: s.Latest.V, Points: s.Total,
+		})
+	}
+	sortLinks(snap.Links)
+	epURL := base + "/debug/tsdb/episodes"
+	var params []string
+	if threshold > 0 {
+		params = append(params, fmt.Sprintf("threshold=%g", threshold))
+	}
+	if window > 0 {
+		params = append(params, fmt.Sprintf("window=%d", window))
+	}
+	if len(params) > 0 {
+		epURL += "?" + strings.Join(params, "&")
+	}
+	snap.Report = &tsdb.Report{}
+	if err := getJSON(epURL, snap.Report); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512)) //mifolint:ignore droppederr best-effort error-body excerpt; the status line already failed the request
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// joinFlight folds a flight-recorder log into the snapshot: every
+// deflected step of every journey, counted by the AS that deflected.
+// With netsim's "as->as" link labels this answers "which episodes did
+// these journeys relieve" at a glance.
+func joinFlight(snap *snapshot, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	byAS := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec audit.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // seal lines and foreign kinds are not journeys
+		}
+		if rec.Kind != audit.KindPacket && rec.Kind != audit.KindPath {
+			continue
+		}
+		for _, s := range rec.Steps {
+			if s.Deflected {
+				byAS[fmt.Sprint(s.AS)]++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	snap.DeflectionsByAS = byAS
+	return nil
+}
+
+func sortLinks(rows []linkRow) {
+	// Peak first: in an offline dump every drained link ends at zero
+	// utilization, so the final sample says nothing about how hot the
+	// link ran. Live snapshots set Peak = Last, so this sorts by the
+	// current reading there.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Peak != rows[j].Peak {
+			return rows[i].Peak > rows[j].Peak
+		}
+		if rows[i].Last != rows[j].Last {
+			return rows[i].Last > rows[j].Last
+		}
+		return rows[i].Series < rows[j].Series
+	})
+}
+
+// render prints the human view: spec, hottest links, episode table, and
+// the optional flight join.
+func render(w io.Writer, snap *snapshot, topN int) {
+	sp := snap.Report.Spec
+	fmt.Fprintf(w, "util series %q  threshold %.2f  window %d  (%d series scanned)\n",
+		sp.Util, sp.Threshold, sp.Window, snap.Report.SeriesScanned)
+
+	fmt.Fprintf(w, "\nhottest links (%d of %d):\n", min(topN, len(snap.Links)), len(snap.Links))
+	fmt.Fprintf(w, "  %-24s %8s %8s %8s\n", "link", "util", "peak", "points")
+	for i, row := range snap.Links {
+		if i >= topN {
+			break
+		}
+		fmt.Fprintf(w, "  %-24s %8.3f %8.3f %8d\n", row.Series, row.Last, row.Peak, row.Points)
+	}
+
+	rep := snap.Report
+	fmt.Fprintf(w, "\ncongestion episodes: %d on %d links (run totals: %d deflections, %.3g offloaded bits, %.3g in-episode)\n",
+		len(rep.Episodes), rep.LinksWithEpisodes, rep.TotalDeflections, rep.TotalOffloadBits, rep.EpisodeOffloadBits)
+	if len(rep.Episodes) > 0 {
+		// Show the episodes that moved the most traffic; -once emits the
+		// full report as JSON when everything is needed.
+		shown := append([]tsdb.Episode(nil), rep.Episodes...)
+		sort.Slice(shown, func(i, j int) bool {
+			if shown[i].OffloadBits != shown[j].OffloadBits {
+				return shown[i].OffloadBits > shown[j].OffloadBits
+			}
+			return shown[i].Start < shown[j].Start
+		})
+		if len(shown) > 2*topN {
+			shown = shown[:2*topN]
+		}
+		fmt.Fprintf(w, "  %-24s %-14s %6s %6s %6s %10s %14s %12s\n",
+			"link", "start", "dur", "peak", "defl", "offload", "relief-lat", "state")
+		for _, e := range shown {
+			state := "relieved"
+			if e.Active {
+				state = "active"
+			}
+			lat := "-"
+			if e.ReliefLatency >= 0 {
+				lat = fmt.Sprint(e.ReliefLatency)
+			}
+			fmt.Fprintf(w, "  %-24s %-14d %6d %6.2f %6d %10.3g %14s %12s\n",
+				e.Series, e.Start, e.Duration(), e.Peak, e.Deflections, e.OffloadBits, lat, state)
+		}
+		if n := len(rep.Episodes) - len(shown); n > 0 {
+			fmt.Fprintf(w, "  ... %d more episodes (use -once for the full JSON report)\n", n)
+		}
+	}
+
+	if snap.DeflectionsByAS != nil {
+		type kv struct {
+			as string
+			n  int
+		}
+		var rows []kv
+		for as, n := range snap.DeflectionsByAS {
+			rows = append(rows, kv{as, n})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].as < rows[j].as
+		})
+		fmt.Fprintf(w, "\nflight-recorder join: deflected journeys by AS (%d ASes deflected)\n", len(rows))
+		for i, r := range rows {
+			if i >= topN {
+				break
+			}
+			fmt.Fprintf(w, "  AS %-6s %6d journeys\n", r.as, r.n)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

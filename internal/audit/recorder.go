@@ -1,7 +1,6 @@
 package audit
 
 import (
-	"encoding/json"
 	"io"
 	"runtime"
 	"sync"
@@ -9,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dataplane"
+	"repro/internal/jsonl"
 	"repro/internal/obs"
 	"repro/internal/topo"
 )
@@ -151,15 +151,16 @@ type Recorder struct {
 	cmds   chan cmd
 	done   chan struct{}
 
-	// mu guards the snapshot state shared with callers: stats, retained
-	// violating records, and the first sink error.
-	mu      sync.Mutex
-	stats   Stats
-	bad     []Record
-	sinkErr error
+	// mu guards the snapshot state shared with callers: stats and the
+	// retained violating records. The first sink error lives in the jsonl
+	// sink itself.
+	mu    sync.Mutex
+	stats Stats
+	bad   []Record
 
-	// Batcher-owned state; no locking (single goroutine).
-	enc        *json.Encoder
+	// Batcher-owned state; no locking (single goroutine). The sink
+	// serializes internally and retains the first write error.
+	sink       *jsonl.Sink
 	plain      bool
 	batchSize  int
 	flushEvery time.Duration
@@ -221,7 +222,7 @@ func NewRecorder(o Options) *Recorder {
 		rec.sampleLimit = uint32(o.Sample * float64(^uint32(0)))
 	}
 	if o.Writer != nil {
-		rec.enc = json.NewEncoder(o.Writer)
+		rec.sink = jsonl.New(o.Writer)
 	}
 	if rec.keep == 0 {
 		rec.keep = 16
@@ -702,14 +703,12 @@ func (rec *Recorder) finish(j *journey, verdict, reason string) {
 	if rec.recTotal != nil {
 		rec.recTotal.Inc()
 	}
-	if rec.enc == nil {
+	if rec.sink == nil {
 		rec.recycle(j)
 		return
 	}
 	if rec.plain {
-		if err := rec.enc.Encode(&j.rec); err != nil {
-			rec.noteSinkErr(err)
-		}
+		rec.sink.Encode(&j.rec) //mifolint:ignore droppederr the sink retains its first error; Close reports it
 		rec.recycle(j)
 		return
 	}
@@ -734,14 +733,14 @@ func (rec *Recorder) recycle(j *journey) {
 // only; no-op when nothing is buffered or the sink is plain/absent).
 func (rec *Recorder) sealBatch() {
 	n := len(rec.batch)
-	if n == 0 || rec.enc == nil || rec.plain {
+	if n == 0 || rec.sink == nil || rec.plain {
 		return
 	}
 	rec.leaves = rec.leaves[:0]
 	for _, j := range rec.batch {
 		lh, err := leafHash(&j.rec)
 		if err != nil {
-			rec.noteSinkErr(err)
+			rec.sink.Note(err)
 		}
 		rec.leaves = append(rec.leaves, lh)
 	}
@@ -752,18 +751,14 @@ func (rec *Recorder) sealBatch() {
 		j.rec.Batch = rec.batchNo
 		j.rec.Leaf = i
 		j.rec.Proof = proofHex(proofSteps(levels, i))
-		if err := rec.enc.Encode(&j.rec); err != nil {
-			rec.noteSinkErr(err)
-		}
+		rec.sink.Encode(&j.rec) //mifolint:ignore droppederr the sink retains its first error; Close reports it
 	}
 	sh := sealHash(rec.prevSeal, root, rec.batchNo, n)
 	seal := BatchSeal{
 		Kind: KindSeal, Batch: rec.batchNo, Records: n,
 		Root: hexHash(root), Prev: hexHash(rec.prevSeal), Seal: hexHash(sh),
 	}
-	if err := rec.enc.Encode(&seal); err != nil {
-		rec.noteSinkErr(err)
-	}
+	rec.sink.Encode(&seal) //mifolint:ignore droppederr the sink retains its first error; Close reports it
 	rec.prevSeal = sh
 	for _, j := range rec.batch {
 		rec.recycle(j)
@@ -829,20 +824,12 @@ func (rec *Recorder) publish() {
 	rec.queueHigh.Set(float64(rec.highwater))
 }
 
-// noteSinkErr retains the first sink error (batcher only).
-func (rec *Recorder) noteSinkErr(err error) {
-	rec.mu.Lock()
-	if rec.sinkErr == nil {
-		rec.sinkErr = err
-	}
-	rec.mu.Unlock()
-}
-
-// firstSinkErr snapshots the retained sink error.
+// firstSinkErr snapshots the sink's retained first error.
 func (rec *Recorder) firstSinkErr() error {
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	return rec.sinkErr
+	if rec.sink == nil {
+		return nil
+	}
+	return rec.sink.Err()
 }
 
 // command runs one barrier command through the batcher; after Close it

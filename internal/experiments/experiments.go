@@ -20,6 +20,7 @@ import (
 	"repro/internal/miro"
 	"repro/internal/netsim"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -64,6 +65,13 @@ type Options struct {
 	// is traced from failure injection to data-plane consistency
 	// (mifo-sim's -span-log flag; analyze with cmd/mifo-conv).
 	Spans *span.Tracer
+
+	// TSDB, when non-nil, attaches the link-utilization time-series store
+	// to every flow-level simulation an experiment runs: per-epoch link
+	// samples plus the cumulative deflection/offload series the episode
+	// analyzer joins (mifo-sim's -tsdb-log flag; analyze with
+	// cmd/mifo-top). Each simulation gets its own run label.
+	TSDB *tsdb.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -285,6 +293,7 @@ func comparePolicies(g *topo.Graph, flows []traffic.Flow, deployment float64, o 
 		ReturnThreshold:     o.ReturnThreshold,
 		Quality:             o.Quality,
 		Recorder:            o.Recorder,
+		TSDB:                o.TSDB,
 	}
 	bgpCfg, miroCfg, mifoCfg := base, base, base
 	bgpCfg.Policy = netsim.PolicyBGP
@@ -335,7 +344,7 @@ func RunFig8(o Options) (*Fig8, error) {
 	for pct := 10; pct <= 100; pct += 10 {
 		mask := DeploymentMask(g.N(), float64(pct)/100, o.Seed+700)
 		res, err := netsim.Run(g, flows, netsim.Config{
-			Policy: netsim.PolicyMIFO, Capable: mask, Workers: o.Workers, Recorder: o.Recorder,
+			Policy: netsim.PolicyMIFO, Capable: mask, Workers: o.Workers, Recorder: o.Recorder, TSDB: o.TSDB,
 		})
 		if err != nil {
 			return nil, err
@@ -374,6 +383,7 @@ func RunFig9(o Options) (*Fig9, error) {
 		Capable:  DeploymentMask(g.N(), 0.5, o.Seed+900),
 		Workers:  o.Workers,
 		Recorder: o.Recorder,
+		TSDB:     o.TSDB,
 	})
 	if err != nil {
 		return nil, err

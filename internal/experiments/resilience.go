@@ -70,6 +70,7 @@ func RunResilience(o Options) (*Resilience, error) {
 			ReconvergenceDelay: delay,
 			Recorder:           o.Recorder,
 			Spans:              o.Spans,
+			TSDB:               o.TSDB,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: resilience %v: %v", pol, err)

@@ -33,6 +33,13 @@ import (
 // two sites sharing "fib_commit" would silently merge two distinct
 // stages in every latency breakdown. Span names live in their own
 // namespace: a metric and a span may share a name.
+//
+// Time-series names passed to tsdb.Store.Series/SeriesVec follow the
+// full metric contract (literal, prefixed snake_case, single site) plus
+// one more rule: a tsdb series may not reuse a metric or span name.
+// Series dumps and /metrics land in the same dashboards, and one name
+// meaning a counter on one page and a ring of samples on another is a
+// debugging trap the registries cannot catch at runtime.
 
 // ObsnamesConfig parameterizes the obsnames analyzer.
 type ObsnamesConfig struct {
@@ -49,6 +56,11 @@ type ObsnamesConfig struct {
 	SpanPkgSuffix string
 	// SpanTypeName is the tracer's type name.
 	SpanTypeName string
+	// TSDBPkgSuffix locates the time-series store type (path-suffix
+	// match). Empty disables tsdb series-name checking.
+	TSDBPkgSuffix string
+	// TSDBTypeName is the store's type name.
+	TSDBTypeName string
 }
 
 // DefaultObsnamesConfig covers repro's internal/obs registry.
@@ -64,6 +76,8 @@ func DefaultObsnamesConfig() ObsnamesConfig {
 		},
 		SpanPkgSuffix: "internal/obs/span",
 		SpanTypeName:  "Tracer",
+		TSDBPkgSuffix: "internal/obs/tsdb",
+		TSDBTypeName:  "Store",
 	}
 }
 
@@ -76,6 +90,10 @@ var tracerMethods = map[string]bool{
 	"Start": true, "StartRoot": true,
 }
 
+var tsdbMethods = map[string]bool{
+	"Series": true, "SeriesVec": true,
+}
+
 // metricNameRE: lowercase snake_case, >= 2 segments, digits allowed after
 // the first character of a segment.
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
@@ -85,12 +103,14 @@ const obsnamesFactKey = "obsnames"
 type obsnamesFacts struct {
 	sites     map[string][]token.Position // metric name -> registration sites
 	spanSites map[string][]token.Position // span name -> Start/StartRoot sites
+	tsdbSites map[string][]token.Position // tsdb series name -> Series/SeriesVec sites
 }
 
 func newObsnamesFacts() any {
 	return &obsnamesFacts{
 		sites:     map[string][]token.Position{},
 		spanSites: map[string][]token.Position{},
+		tsdbSites: map[string][]token.Position{},
 	}
 }
 
@@ -129,7 +149,8 @@ func runObsnames(pass *Pass, cfg ObsnamesConfig) {
 			}
 			isMetric := registryMethods[sel.Sel.Name]
 			isSpan := tracerMethods[sel.Sel.Name] && cfg.SpanPkgSuffix != ""
-			if !isMetric && !isSpan {
+			isTSDB := tsdbMethods[sel.Sel.Name] && cfg.TSDBPkgSuffix != ""
+			if !isMetric && !isSpan && !isTSDB {
 				return true
 			}
 			recv, ok := info.Types[sel.X]
@@ -138,20 +159,25 @@ func runObsnames(pass *Pass, cfg ObsnamesConfig) {
 			}
 			switch {
 			case isMetric && typeIs(recv.Type, cfg.RegistryPkgSuffix, cfg.RegistryTypeName):
-				isSpan = false
+				isSpan, isTSDB = false, false
 			case isSpan && typeIs(recv.Type, cfg.SpanPkgSuffix, cfg.SpanTypeName):
-				isMetric = false
+				isMetric, isTSDB = false, false
+			case isTSDB && typeIs(recv.Type, cfg.TSDBPkgSuffix, cfg.TSDBTypeName):
+				isMetric, isSpan = false, false
 			default:
 				return true
 			}
-			kind := "metric"
-			if isSpan {
-				kind = "span"
+			kind, typeName := "metric", cfg.RegistryTypeName
+			switch {
+			case isSpan:
+				kind, typeName = "span", cfg.SpanTypeName
+			case isTSDB:
+				kind, typeName = "tsdb series", cfg.TSDBTypeName
 			}
 			nameArg := call.Args[0]
 			tv, ok := info.Types[nameArg]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				pass.Reportf(nameArg.Pos(), "%s name passed to %s.%s must be a compile-time string literal", kind, watchedTypeName(cfg, isSpan), sel.Sel.Name)
+				pass.Reportf(nameArg.Pos(), "%s name passed to %s.%s must be a compile-time string literal", kind, typeName, sel.Sel.Name)
 				return true
 			}
 			name, err := strconv.Unquote(tv.Value.ExactString())
@@ -162,7 +188,7 @@ func runObsnames(pass *Pass, cfg ObsnamesConfig) {
 				if isSpan {
 					pass.Reportf(nameArg.Pos(), "span name %q is not snake_case with >= 2 segments (want e.g. %q)", name, "fib_commit")
 				} else {
-					pass.Reportf(nameArg.Pos(), "metric name %q is not prefixed snake_case (want e.g. %q)", name, allowedPrefixes[0]+"_total")
+					pass.Reportf(nameArg.Pos(), "%s name %q is not prefixed snake_case (want e.g. %q)", kind, name, allowedPrefixes[0]+"_total")
 				}
 				return true
 			}
@@ -182,7 +208,11 @@ func runObsnames(pass *Pass, cfg ObsnamesConfig) {
 				}
 			}
 			if !okPrefix {
-				pass.Reportf(nameArg.Pos(), "metric name %q must carry this component's prefix %v so exposition groups by subsystem", name, allowedPrefixes)
+				pass.Reportf(nameArg.Pos(), "%s name %q must carry this component's prefix %v so exposition groups by subsystem", kind, name, allowedPrefixes)
+				return true
+			}
+			if isTSDB {
+				facts.tsdbSites[name] = append(facts.tsdbSites[name], pass.Pkg.Fset.Position(nameArg.Pos()))
 				return true
 			}
 			facts.sites[name] = append(facts.sites[name], pass.Pkg.Fset.Position(nameArg.Pos()))
@@ -191,22 +221,37 @@ func runObsnames(pass *Pass, cfg ObsnamesConfig) {
 	}
 }
 
-// watchedTypeName names the watched receiver type in diagnostics.
-func watchedTypeName(cfg ObsnamesConfig, span bool) string {
-	if span {
-		return cfg.SpanTypeName
-	}
-	return cfg.RegistryTypeName
-}
-
 // finishObsnames reports names registered from more than one call site.
 // The first site (in position order) is treated as the owner; every other
 // site is flagged. Metric and span names are separate namespaces, each
-// with its own single-site rule.
+// with its own single-site rule; tsdb series names additionally may not
+// collide with either.
 func finishObsnames(s *State, report func(Diagnostic)) {
 	facts := s.Get(obsnamesFactKey, newObsnamesFacts).(*obsnamesFacts)
 	reportDups(facts.sites, "metric %q is already registered at %s:%d: two call sites silently alias one series", report)
 	reportDups(facts.spanSites, "span %q is already started at %s:%d: two call sites silently merge two pipeline stages", report)
+	reportDups(facts.tsdbSites, "tsdb series %q is already registered at %s:%d: two call sites silently alias one series", report)
+	for name, ps := range facts.tsdbSites {
+		if owner, ok := facts.sites[name]; ok {
+			reportCollision(ps, name, "metric registered", owner[0], report)
+		}
+		if owner, ok := facts.spanSites[name]; ok {
+			reportCollision(ps, name, "span started", owner[0], report)
+		}
+	}
+}
+
+// reportCollision flags every tsdb registration of a name another
+// namespace already owns.
+func reportCollision(ps []token.Position, name, what string, owner token.Position, report func(Diagnostic)) {
+	for _, p := range ps {
+		report(Diagnostic{
+			Pos: p,
+			Message: fmt.Sprintf("tsdb series %q collides with the %s at %s:%d: series dumps and /metrics share one dashboard namespace",
+				name, what, owner.Filename, owner.Line),
+			Analyzer: "obsnames",
+		})
+	}
 }
 
 func reportDups(sites map[string][]token.Position, format string, report func(Diagnostic)) {

@@ -1,0 +1,15 @@
+// Package tsdb is a corpus-local model of the time-series store: the
+// obsnames analyzer locates it by the "internal/obs/tsdb" path suffix.
+package tsdb
+
+type Series struct{}
+type SeriesVec struct{}
+
+type Store struct{}
+
+func NewStore() *Store { return &Store{} }
+
+func (st *Store) Series(name, help string) *Series { return &Series{} }
+func (st *Store) SeriesVec(name, help string, labels ...string) *SeriesVec {
+	return &SeriesVec{}
+}

@@ -1,0 +1,34 @@
+// Package linkstore registers tsdb series; names must carry the
+// linkstore_ prefix, be snake_case literals registered exactly once, and
+// not reuse a metric or span name (series dumps and /metrics land in the
+// same dashboards).
+package linkstore
+
+import (
+	"obsnames/internal/obs"
+	"obsnames/internal/obs/span"
+	"obsnames/internal/obs/tsdb"
+)
+
+const utilName = "linkstore_link_util"
+
+func register(st *tsdb.Store, r *obs.Registry, tr *span.Tracer, dyn string) {
+	st.Series(utilName, "a named constant is still a compile-time literal")
+	st.SeriesVec("linkstore_queue_ratio", "ok", "router", "port")
+
+	st.Series(dyn, "x")               // want `must be a compile-time string literal`
+	st.Series("LinkUtil", "x")        // want `not prefixed snake_case`
+	st.Series("spare", "x")           // want `not prefixed snake_case`
+	st.Series("other_link_util", "x") // want `must carry this component's prefix`
+
+	st.Series("linkstore_dup_series", "first site owns the name")
+	st.SeriesVec("linkstore_dup_series", "x", "l") // want `already registered at`
+
+	// Unlike spans, a tsdb series may NOT shadow a metric or a span: one
+	// name meaning a counter on /metrics and a sample ring in the dump is
+	// a debugging trap.
+	r.Counter("linkstore_frames_total", "the metric owns this name")
+	st.Series("linkstore_frames_total", "x") // want `collides with the metric registered`
+	tr.StartRoot("linkstore_probe_done", 0)
+	st.Series("linkstore_probe_done", "x") // want `collides with the span started`
+}

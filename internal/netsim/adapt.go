@@ -93,6 +93,7 @@ func (s *Sim) adaptFlow(st *flowState, table *bgp.Dest) bool {
 			if !st.onAlt {
 				st.trigLink = egress
 			}
+			s.noteDeflection(egress)
 			// Reserve the rate the flow expects to reach on the new path,
 			// not its current (congested) rate: later decisions in this
 			// control epoch must see the alternative as taken, or every

@@ -71,6 +71,19 @@ func (r *Results) OffloadFraction() float64 {
 	return float64(offloaded) / float64(total)
 }
 
+// OffloadedBits returns the total traffic carried over alternative paths
+// by data-plane deflection. It is exactly the sum the tsdb per-link
+// offload series reach at the end of the run (both integrate the same
+// rate*dt products), so the episode report can be cross-checked against
+// the simulator's own accounting.
+func (r *Results) OffloadedBits() float64 {
+	total := 0.0
+	for i := range r.Flows {
+		total += r.Flows[i].OffloadedBits
+	}
+	return total
+}
+
 // SwitchHistogram returns the distribution of path-switch counts over the
 // flows that switched at least once (Fig. 9 reports "of the flows that
 // switched, 67.7% switched only once").

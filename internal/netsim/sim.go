@@ -24,6 +24,7 @@ import (
 	"repro/internal/miro"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -130,6 +131,16 @@ type Config struct {
 	// internal/obs/span and cmd/mifo-conv).
 	Spans *span.Tracer
 
+	// TSDB, when non-nil, receives per-epoch link-utilization samples
+	// plus the cumulative deflection and offloaded-bits series the
+	// episode analyzer attributes offload with (see tsdb.go). Sampling
+	// happens at MIFO control epochs, so only MIFO runs produce series.
+	TSDB *tsdb.Store
+	// TSDBWatermark is the utilization above which a link's series are
+	// materialized (default 0.8 x CongestionThreshold). Links that
+	// deflect a flow are materialized regardless.
+	TSDBWatermark float64
+
 	// Failures injects link failures (an extension experiment: MIFO's
 	// data-plane deflection reacts to a dead egress instantly, while BGP
 	// and MIRO traffic stalls until routes reconverge).
@@ -176,6 +187,10 @@ type FlowResult struct {
 	// UsedAlt reports whether the flow ever traveled an alternative path
 	// (Fig. 8's offload metric).
 	UsedAlt bool
+	// OffloadedBits is the traffic the flow transferred while deflected
+	// onto an alternative path (MIFO data-plane offload; MIRO's
+	// control-plane choice is not counted — see advance).
+	OffloadedBits float64
 	// Unroutable marks flows whose source had no BGP route to the
 	// destination; they carry zero throughput.
 	Unroutable bool
@@ -204,6 +219,9 @@ type flowState struct {
 	usedAlt  bool
 	switches int
 	trigLink int32 // link whose congestion pushed the flow off the default
+	// offloadBits accumulates the bits the flow transferred while
+	// deflected (MIFO only; see advance).
+	offloadBits float64
 
 	stalledTime float64
 	reroutes    int
@@ -260,6 +278,21 @@ type Sim struct {
 	epochOn bool
 
 	miroAlts map[int64][]miro.Alternate // memoized per (src,dst)
+
+	// TSDB instrumentation (nil unless cfg.TSDB is set; see tsdb.go).
+	tsRun       string
+	tsWatermark float64
+	tsUtilVec   *tsdb.SeriesVec
+	tsDeflVec   *tsdb.SeriesVec
+	tsOffVec    *tsdb.SeriesVec
+	tsLinkU     []*tsdb.Series // per-link handles, materialized lazily
+	tsLinkD     []*tsdb.Series
+	tsLinkO     []*tsdb.Series
+	deflCount   []float64 // cumulative deflections per link
+	offBits     []float64 // cumulative offloaded bits per trigger link
+	tsActive    *tsdb.Series
+	tsAlt       *tsdb.Series
+	tsMaxUtil   *tsdb.Series
 }
 
 const (
@@ -285,6 +318,7 @@ func Run(g *topo.Graph, flows []traffic.Flow, cfg Config) (*Results, error) {
 	}
 	s := &Sim{g: g, cfg: cfg, miroAlts: make(map[int64][]miro.Alternate)}
 	s.buildLinks()
+	s.initTSDB()
 	if err := s.precomputeRoutes(flows); err != nil {
 		return nil, err
 	}
@@ -327,6 +361,10 @@ func Run(g *topo.Graph, flows []traffic.Flow, cfg Config) (*Results, error) {
 		}
 	}
 
+	// One final sample pins the cumulative counters' end state, so the
+	// episode report's totals match Results exactly.
+	s.sampleTSDB()
+
 	res := &Results{Capacity: cfg.LinkCapacityBps, Policy: cfg.Policy}
 	res.Routing = s.tab.Stats()
 	if s.repairedTab != nil {
@@ -335,14 +373,15 @@ func Run(g *topo.Graph, flows []traffic.Flow, cfg Config) (*Results, error) {
 	res.Flows = make([]FlowResult, len(flows))
 	for i, st := range s.flows {
 		fr := FlowResult{
-			Flow:        st.Flow,
-			Finish:      st.finish,
-			Switches:    st.switches,
-			UsedAlt:     st.usedAlt,
-			Unroutable:  st.unroutable,
-			StalledTime: st.stalledTime,
-			Reroutes:    st.reroutes,
-			Stalled:     !st.done && !st.unroutable,
+			Flow:          st.Flow,
+			Finish:        st.finish,
+			Switches:      st.switches,
+			UsedAlt:       st.usedAlt,
+			OffloadedBits: st.offloadBits,
+			Unroutable:    st.unroutable,
+			StalledTime:   st.stalledTime,
+			Reroutes:      st.reroutes,
+			Stalled:       !st.done && !st.unroutable,
 		}
 		if !st.unroutable && st.done && st.finish > st.Arrival {
 			fr.ThroughputBps = st.SizeBits / (st.finish - st.Arrival)
@@ -413,6 +452,16 @@ func (s *Sim) advance(t float64) {
 			st.left -= st.rate * dt
 			if st.left < 0 {
 				st.left = 0
+			}
+			// Bits carried while deflected are the offload the episode
+			// analyzer attributes to the trigger link. MIRO's one-shot
+			// alternative choice never sets onAlt, so this accounting is
+			// MIFO data-plane offload only.
+			if st.onAlt {
+				st.offloadBits += st.rate * dt
+				if s.offBits != nil && st.trigLink >= 0 {
+					s.offBits[st.trigLink] += st.rate * dt
+				}
 			}
 		}
 	}
@@ -499,6 +548,7 @@ func (s *Sim) handleEpoch() {
 			s.afterTopologyChange()
 		}
 		s.traceEpoch(moved)
+		s.sampleTSDB()
 	}
 	// Keep ticking while there is anything an epoch could still influence.
 	// If every active flow is permanently stalled and no other event is

@@ -14,12 +14,12 @@ func TestDebugEndpoints(t *testing.T) {
 	tr := NewTrace(8)
 	tr.Emit(Event{Type: EvDeflect, Node: 2, A: 7, V: 5e8, Note: "spare 500 Mbps"})
 
-	srv, addr, err := ServeDebug("127.0.0.1:0", reg, tr)
+	srv, err := ServeDebug("127.0.0.1:0", reg, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	base := "http://" + addr.String()
+	base := srv.URL()
 
 	get := func(path string) (int, string) {
 		t.Helper()
@@ -67,12 +67,12 @@ func TestDebugEndpoints(t *testing.T) {
 }
 
 func TestDebugMuxWithoutTrace(t *testing.T) {
-	srv, addr, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil)
+	srv, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	resp, err := http.Get("http://" + addr.String() + "/debug/trace")
+	resp, err := http.Get(srv.URL() + "/debug/trace")
 	if err != nil {
 		t.Fatal(err)
 	}

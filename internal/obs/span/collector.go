@@ -1,12 +1,12 @@
 package span
 
 import (
-	"encoding/json"
 	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/jsonl"
 	"repro/internal/obs"
 )
 
@@ -75,13 +75,14 @@ type collector struct {
 	cmds   chan cmd
 	done   chan struct{}
 
-	// mu guards the snapshot state shared with callers.
-	mu      sync.Mutex
-	stats   Stats
-	sinkErr error
+	// mu guards the snapshot state shared with callers. The first sink
+	// error lives in the jsonl sink itself.
+	mu    sync.Mutex
+	stats Stats
 
-	// Collector-goroutine-owned state; no locking (single goroutine).
-	enc                         *json.Encoder
+	// Collector-goroutine-owned state; no locking (single goroutine). The
+	// sink serializes internally and retains the first write error.
+	sink                        *jsonl.Sink
 	poll                        time.Duration
 	records, roots              uint64
 	highwater                   uint64
@@ -128,7 +129,7 @@ func New(o Options) *Tracer {
 		t.poll = 200 * time.Microsecond
 	}
 	if o.Writer != nil {
-		t.enc = json.NewEncoder(o.Writer)
+		t.sink = jsonl.New(o.Writer)
 	}
 	nseg := o.Segments
 	if nseg <= 0 {
@@ -223,10 +224,8 @@ func (t *Tracer) process(rec *Record) {
 		}
 		h.Observe(rec.Duration().Seconds())
 	}
-	if t.enc != nil {
-		if err := t.enc.Encode(rec); err != nil {
-			t.noteSinkErr(err)
-		}
+	if t.sink != nil {
+		t.sink.Encode(rec) //mifolint:ignore droppederr the sink retains its first error; Close reports it
 	}
 }
 
@@ -257,20 +256,12 @@ func (t *Tracer) publish() {
 	t.queueHigh.Set(float64(t.highwater))
 }
 
-// noteSinkErr retains the first sink error (collector only).
-func (t *Tracer) noteSinkErr(err error) {
-	t.mu.Lock()
-	if t.sinkErr == nil {
-		t.sinkErr = err
-	}
-	t.mu.Unlock()
-}
-
-// firstSinkErr snapshots the retained sink error.
+// firstSinkErr snapshots the sink's retained first error.
 func (t *Tracer) firstSinkErr() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sinkErr
+	if t.sink == nil {
+		return nil
+	}
+	return t.sink.Err()
 }
 
 // command runs one barrier command through the collector; after Close

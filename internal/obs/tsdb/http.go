@@ -1,0 +1,180 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the store's debug API, meant to be mounted at
+// /debug/tsdb on the shared debug mux:
+//
+//	GET <prefix>          — index: episode spec + per-series summaries
+//	GET <prefix>/query    — ?series=NAME [&value=V]... [&from=N] [&to=N]
+//	                        [&step=N] [&tier=raw|1|2|auto] → buckets
+//	GET <prefix>/episodes — episode report; ?threshold=F&window=N
+//	                        override the installed spec's knobs
+//
+// All responses are JSON. The handler strips its own mount prefix, so
+// it works at any mount point via http.StripPrefix or the mux's
+// trailing-slash redirect.
+func (st *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", st.serveIndex)
+	mux.HandleFunc("/query", st.serveQuery)
+	mux.HandleFunc("/episodes", st.serveEpisodes)
+	return mux
+}
+
+// seriesSummary is one series' index entry.
+type seriesSummary struct {
+	Name   string   `json:"name"`
+	Help   string   `json:"help,omitempty"`
+	Labels []string `json:"labels,omitempty"`
+	Values []string `json:"values,omitempty"`
+	Total  uint64   `json:"total_points"`
+	Latest *Point   `json:"latest,omitempty"`
+}
+
+type indexResponse struct {
+	Spec   EpisodeSpec     `json:"spec"`
+	Series []seriesSummary `json:"series"`
+}
+
+func (st *Store) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if strings.Trim(r.URL.Path, "/") != "" {
+		http.NotFound(w, r)
+		return
+	}
+	resp := indexResponse{Spec: st.EpisodeSpec()}
+	for _, f := range st.families() {
+		for _, s := range f.snapshotSeries() {
+			sum := seriesSummary{
+				Name:   s.name,
+				Help:   f.help,
+				Labels: f.labels,
+				Values: s.values,
+				Total:  s.Total(),
+			}
+			if p, ok := s.Latest(); ok {
+				sum.Latest = &p
+			}
+			resp.Series = append(resp.Series, sum)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+type queryResponse struct {
+	Series  string   `json:"series"`
+	Values  []string `json:"values,omitempty"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+func (st *Store) serveQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("series")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "missing ?series=")
+		return
+	}
+	st.mu.Lock()
+	f := st.fams[name]
+	st.mu.Unlock()
+	if f == nil {
+		httpError(w, http.StatusNotFound, "unknown series "+name)
+		return
+	}
+	values := q["value"]
+	var s *Series
+	f.mu.Lock()
+	if len(f.labels) == 0 {
+		s = f.series[""]
+	} else if len(values) == len(f.labels) {
+		s = f.series[joinKey(values)]
+	}
+	f.mu.Unlock()
+	if s == nil {
+		httpError(w, http.StatusNotFound, "no series for the given label values")
+		return
+	}
+	opts := QueryOpts{Tier: -1}
+	var err error
+	if opts.From, err = intParam(q.Get("from"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad from")
+		return
+	}
+	if opts.To, err = intParam(q.Get("to"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad to")
+		return
+	}
+	if opts.Step, err = intParam(q.Get("step"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad step")
+		return
+	}
+	switch t := q.Get("tier"); t {
+	case "", "auto":
+		opts.Tier = -1
+	case "raw", "0":
+		opts.Tier = 0
+	case "1":
+		opts.Tier = 1
+	case "2":
+		opts.Tier = 2
+	default:
+		httpError(w, http.StatusBadRequest, "bad tier (raw|1|2|auto)")
+		return
+	}
+	buckets := s.Query(opts)
+	if buckets == nil {
+		buckets = []Bucket{}
+	}
+	writeJSON(w, queryResponse{Series: name, Values: s.values, Buckets: buckets})
+}
+
+func (st *Store) serveEpisodes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	spec := st.EpisodeSpec()
+	if v := q.Get("threshold"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad threshold")
+			return
+		}
+		spec.Threshold = f
+	}
+	if v := q.Get("window"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad window")
+			return
+		}
+		spec.Window = n
+	}
+	if spec.Util == "" {
+		httpError(w, http.StatusPreconditionFailed, "no episode spec installed (store not instrumented)")
+		return
+	}
+	writeJSON(w, AnalyzeStore(st, spec))
+}
+
+func intParam(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //mifolint:ignore droppederr best-effort HTTP response; the client sees the truncation
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //mifolint:ignore droppederr best-effort HTTP error body
+}

@@ -14,11 +14,13 @@ package packetsim
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/audit"
 	"repro/internal/dataplane"
 	"repro/internal/eventq"
 	"repro/internal/metrics"
+	"repro/internal/obs/tsdb"
 )
 
 // Config tunes the packet-level engine.
@@ -48,6 +50,11 @@ type Config struct {
 	// of the network: each sampled packet's full journey is recorded and
 	// audited, and tx-queue drops finalize the journey as lost.
 	Recorder *audit.Recorder
+	// TSDB, when non-nil, receives per-port queue-ratio samples (the
+	// engine's actual congestion signal) and the 100 ms aggregate-goodput
+	// series. Port series are materialized lazily once a queue first
+	// crosses half occupancy; timestamps are virtual time in nanoseconds.
+	TSDB *tsdb.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +140,13 @@ type Sim struct {
 	bucketStart float64
 	series      metrics.TimeSeries
 	totalBits   float64
+
+	// TSDB instrumentation (nil unless cfg.TSDB is set). The event loop
+	// is the single writer every series requires.
+	tsRun      string
+	tsQueueVec *tsdb.SeriesVec
+	tsQueue    []*tsdb.Series // per qindex, materialized lazily
+	tsGoodput  *tsdb.Series
 }
 
 type txQueue struct {
@@ -167,6 +181,21 @@ func New(net *dataplane.Network, cfg Config) *Sim {
 		for _, r := range net.Routers {
 			r.Hop = hook
 		}
+	}
+	if cfg.TSDB != nil {
+		s.tsRun = strconv.FormatInt(cfg.TSDB.NextRun(), 10)
+		s.tsQueueVec = cfg.TSDB.SeriesVec("packetsim_queue_ratio", "tx-queue occupancy per output port (the congestion signal)", "run", "router", "port")
+		s.tsQueue = make([]*tsdb.Series, len(s.queues))
+		s.tsGoodput = cfg.TSDB.SeriesVec("packetsim_goodput_gbps", "aggregate delivered goodput per 100 ms bucket", "run").With(s.tsRun)
+		cfg.TSDB.SetEpisodeSpec(tsdb.EpisodeSpec{
+			Util: "packetsim_queue_ratio",
+			// A full queue deflects; sustained >=95% occupancy for a
+			// millisecond of virtual time is a congestion episode at
+			// packet granularity.
+			Threshold: 0.95,
+			Window:    1e6,
+			MaxGap:    1e8,
+		})
 	}
 	return s
 }
@@ -294,7 +323,11 @@ func (s *Sim) Run() (*Results, error) {
 // account adds delivered bits to the 100ms aggregate buckets.
 func (s *Sim) account(t float64) {
 	for t-s.bucketStart >= 0.1 {
-		s.series.Add(s.bucketStart, s.bucket/0.1/1e9)
+		gbps := s.bucket / 0.1 / 1e9
+		s.series.Add(s.bucketStart, gbps)
+		if s.tsGoodput != nil {
+			s.tsGoodput.Sample(int64(s.bucketStart*1e9), gbps)
+		}
 		s.bucket = 0
 		s.bucketStart += 0.1
 	}
@@ -411,6 +444,17 @@ func (s *Sim) txDone(at dataplane.RouterID, port int) {
 func (s *Sim) updateQueueRatio(at dataplane.RouterID, port int, qi int) {
 	ratio := float64(len(s.queues[qi].pkts)) / float64(s.cfg.QueuePackets)
 	s.net.Router(at).SetQueueRatio(port, ratio)
+	if s.tsQueueVec != nil {
+		ser := s.tsQueue[qi]
+		if ser == nil {
+			if ratio < 0.5 {
+				return // only ports that actually build queues get series
+			}
+			ser = s.tsQueueVec.With(s.tsRun, strconv.Itoa(int(at)), strconv.Itoa(port))
+			s.tsQueue[qi] = ser
+		}
+		ser.Sample(int64(s.now*1e9), ratio)
+	}
 }
 
 // deliver hands the payload to the destination and schedules the ACK.
