@@ -81,6 +81,8 @@ bench-json:
 	@echo "wrote BENCH_routing.json"
 	$(GO) test -run xxx -bench 'Sample|Query|Analyze' -benchmem -json ./internal/obs/tsdb > BENCH_tsdb.json
 	@echo "wrote BENCH_tsdb.json"
+	$(GO) test -run xxx -bench 'TableScale|GraphRel|GraphRemoveLinks' -benchmem -timeout 30m -json ./internal/bgp ./internal/topo > BENCH_scale.json
+	@echo "wrote BENCH_scale.json"
 
 # Short fuzzing pass over every fuzz target.
 fuzz:
@@ -89,6 +91,7 @@ fuzz:
 	$(GO) test ./internal/traffic -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/audit -fuzz FuzzChecker -fuzztime 30s
 	$(GO) test ./internal/bgp -fuzz FuzzIncrementalTable -fuzztime 30s
+	$(GO) test ./internal/bgp -fuzz FuzzCompactDest -fuzztime 30s
 
 # Regenerate every figure at default scale into results/.
 figures:

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,13 +25,18 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/obs/tsdb"
+	"repro/internal/topo"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig5a, fig5b, fig5c, fig6a, fig6b, fig6c, fig7, fig8, fig9, resilience, strategy, overhead, errorbars, sensitivity, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig5a, fig5b, fig5c, fig6a, fig6b, fig6c, fig7, fig8, fig9, resilience, strategy, overhead, errorbars, sensitivity, paperscale, all")
 		n        = flag.Int("n", 1000, "topology size (ASes); the paper uses 44340")
 		flows    = flag.Int("flows", 5000, "number of flows; the paper uses 1e6")
+		topoFile = flag.String("topo", "", "read the topology from this file (mifo-topogen -o) instead of generating it")
+		dests    = flag.String("dests", "12", "paperscale: routed destinations — a count, or 'all' for the full-table memory run")
+		streamN  = flag.Int("stream-flows", 0, "paperscale: flows pulled through the streaming simulator (0 = -flows)")
+		memMB    = flag.Int("mem-budget-mb", 0, "paperscale: fail when peak RSS exceeds this many MB (0 = no budget)")
 		pairs    = flag.Int("pairs", 1000, "sampled AS pairs for fig7")
 		rate     = flag.Float64("rate", 0, "flow arrival rate per second (0 = auto-scale the paper's 100/s)")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
@@ -77,6 +83,33 @@ func main() {
 	}
 
 	o := experiments.Options{N: *n, Flows: *flows, PairSamples: *pairs, ArrivalRate: *rate, Seed: *seed, Workers: *workers, TSDB: db}
+	if *topoFile != "" {
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mifo-sim:", err)
+			os.Exit(1)
+		}
+		g, _, err := topo.Parse(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mifo-sim: %s: %v\n", *topoFile, err)
+			os.Exit(1)
+		}
+		o.Graph, o.N = g, g.N()
+	}
+	ps := experiments.PaperScaleConfig{StreamFlows: *streamN, MemBudgetMB: *memMB}
+	if *dests == "all" {
+		ps.AllDests = true
+	} else {
+		k, err := strconv.Atoi(*dests)
+		if err != nil || k <= 0 {
+			fmt.Fprintf(os.Stderr, "mifo-sim: -dests must be a positive count or 'all', got %q\n", *dests)
+			os.Exit(1)
+		}
+		ps.Dests = k
+	}
 
 	// Flight recorder: every simulated path is recorded as a JSONL record
 	// and audited online against MIFO's loop/valley invariants. The log is
@@ -175,7 +208,7 @@ func main() {
 	failed := 0
 	for _, e := range list {
 		start := time.Now()
-		err := run(strings.TrimSpace(e), o, *outDir)
+		err := run(strings.TrimSpace(e), o, *outDir, ps)
 		expDur.Observe(time.Since(start).Seconds())
 		if err != nil {
 			// Keep going: one broken experiment must not suppress the rest
@@ -220,8 +253,20 @@ func saveSeries(dir, name string, series ...metrics.Series) error {
 	return f.Close()
 }
 
-func run(exp string, o experiments.Options, outDir string) error {
+func run(exp string, o experiments.Options, outDir string, ps experiments.PaperScaleConfig) error {
 	switch exp {
+	case "paperscale":
+		// The paper-scale memory/convergence run. Not part of "all": it is
+		// sized for its own process (peak RSS is a process-lifetime mark).
+		r, err := experiments.RunPaperScale(o, ps)
+		if err != nil {
+			return err
+		}
+		printPaperScale(r)
+		if r.OverBudget {
+			return fmt.Errorf("peak RSS %.0f MiB exceeds the %d MiB budget",
+				float64(r.PeakRSS)/(1<<20), r.BudgetBytes>>20)
+		}
 	case "table1":
 		sum, err := experiments.TableI(o)
 		if err != nil {
@@ -389,6 +434,46 @@ func run(exp string, o experiments.Options, outDir string) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+func printPaperScale(r *experiments.PaperScale) {
+	mib := func(b int64) float64 { return float64(b) / (1 << 20) }
+	fmt.Println("== Paper scale: Internet-size routing with memory-compact tables ==")
+	fmt.Printf("# topology: %d ASes, %d links; adjacency %.1f MiB (%.1f B/link)\n",
+		r.Nodes, r.Links, mib(r.GraphMem.TotalBytes), r.GraphMem.BytesPerLink)
+	mode := "flow simulation"
+	if r.TableOnly {
+		mode = "table only"
+	}
+	fmt.Printf("# destinations: %d (%s)\n", r.Dests, mode)
+	fmt.Printf("  full table build:   %.2fs (%d destinations)\n", r.BuildSec, r.TableMem.Dests)
+	fmt.Printf("  table memory:       %.1f MiB packed + %.2f MiB overflow = %.1f B/AS/dest (%.0f B/dest; arena retained %.1f MiB)\n",
+		mib(r.TableMem.PackedBytes), mib(r.TableMem.OverflowBytes),
+		r.TableMem.BytesPerEntry, r.TableMem.BytesPerDest, mib(r.TableMem.ArenaRetainedBytes))
+	fmt.Printf("  failed link:        AS %d - AS %d\n", r.FailedLink[0], r.FailedLink[1])
+	if r.TableOnly {
+		fmt.Printf("  LinkDown repair:    %.3fs   LinkUp repair: %.3fs (incremental)\n", r.DownSec, r.UpSec)
+	} else if s := r.Stream; s != nil {
+		fmt.Printf("  streaming sim:      %d flows in %.2fs — %d routable, %d completed, %d stalled forever\n",
+			s.Flows, r.SimSec, s.Routable(), s.Completed, s.StalledForever)
+		fmt.Printf("  flow memory:        %d peak flow slots for %d peak active flows (of %d total)\n",
+			s.PeakFlowSlots, s.PeakActive, s.Flows)
+		fmt.Printf("  throughput:         mean %.0f Mbps, %.1f%% of flows >= 500 Mbps, offload %.1f%%\n",
+			s.MeanThroughputMbps(), 100*s.FractionAtLeastMbps(500), 100*s.OffloadFraction())
+	}
+	fmt.Printf("  route computes:     %d full, %d incremental over %d link events, %d skipped as provably clean (%.1f%% saved)\n",
+		r.Routing.FullComputes, r.Routing.IncrementalComputes, r.Routing.LinkEvents,
+		r.Routing.CleanSkipped, r.SkippedPct)
+	verdict := ""
+	if r.BudgetBytes > 0 {
+		verdict = fmt.Sprintf(" — budget %d MiB: ", r.BudgetBytes>>20)
+		if r.OverBudget {
+			verdict += "EXCEEDED"
+		} else {
+			verdict += "ok"
+		}
+	}
+	fmt.Printf("  peak RSS:           %.0f MiB (%s)%s\n", mib(r.PeakRSS), r.RSSSource, verdict)
 }
 
 func printComparison(c *experiments.ThroughputComparison) {

@@ -48,7 +48,7 @@ func main() {
 	}
 
 	if *stats {
-		sum, err := experiments.TableI(experiments.Options{N: g.N(), Seed: *seed})
+		sum, err := experiments.TableI(experiments.Options{N: g.N(), Seed: *seed, Graph: g})
 		if *in != "" {
 			// For a parsed file, report the parsed graph's stats directly.
 			s := g.Stats()
@@ -60,6 +60,10 @@ func main() {
 			}
 			fmt.Print(sum)
 		}
+		m := g.MemStats()
+		fmt.Printf("adjacency arena: %.2f MiB CSR (%.1f B/link: %.2f MiB offsets + %.2f MiB neighbors)\n",
+			float64(m.TotalBytes)/(1<<20), m.BytesPerLink,
+			float64(m.OffsetBytes)/(1<<20), float64(m.NeighborBytes)/(1<<20))
 	}
 
 	if *detail {

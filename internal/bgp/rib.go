@@ -51,7 +51,7 @@ func RIBInto(g *topo.Graph, d *Dest, v int, buf []Alt) []Alt {
 	alts := buf[:0]
 	for _, nb := range g.Neighbors(v) {
 		n := int(nb.AS)
-		nc := d.class[n]
+		nc := d.cls(n)
 		if nc == ClassUnreachable {
 			continue
 		}
@@ -66,7 +66,7 @@ func RIBInto(g *topo.Graph, d *Dest, v int, buf []Alt) []Alt {
 		if d.onBestPath(n, v) {
 			continue
 		}
-		alts = append(alts, Alt{Via: nb.AS, Class: classOf(nb.Rel), Hops: d.hops[n] + 1})
+		alts = append(alts, Alt{Via: nb.AS, Class: classOf(nb.Rel), Hops: d.hops16(n) + 1})
 	}
 	// Insertion sort, best-first; RIBs are small (== neighbor count).
 	for i := 1; i < len(alts); i++ {
@@ -84,10 +84,14 @@ func PathVia(d *Dest, v, via int) []int {
 	if !d.Reachable(via) {
 		return nil
 	}
-	rest := d.ASPath(via)
-	path := make([]int, 0, len(rest)+1)
+	path := make([]int, 0, int(d.hops16(via))+2)
 	path = append(path, v)
-	return append(path, rest...)
+	for x := via; ; x = int(d.next32(x)) {
+		path = append(path, x)
+		if int32(x) == d.dst {
+			return path
+		}
+	}
 }
 
 // RIBSize returns the number of RIB entries at v for destination d without
@@ -99,7 +103,7 @@ func RIBSize(g *topo.Graph, d *Dest, v int) int {
 	count := 0
 	for _, nb := range g.Neighbors(v) {
 		n := int(nb.AS)
-		nc := d.class[n]
+		nc := d.cls(n)
 		if nc == ClassUnreachable {
 			continue
 		}

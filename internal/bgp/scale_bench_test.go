@@ -1,0 +1,83 @@
+package bgp
+
+// Paper-scale routing benchmarks (the BENCH_scale.json suite): full-table
+// compute and incremental recompute on a 50k-AS generated Internet, with
+// bytes/dest reported from the table's own memory accounting.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+const scaleN = 50000
+
+var (
+	scaleOnce  sync.Once
+	scaleGraph *topo.Graph
+)
+
+func scaleTopology(tb testing.TB) *topo.Graph {
+	tb.Helper()
+	scaleOnce.Do(func() {
+		g, err := topo.Generate(topo.GenConfig{N: scaleN, Seed: 2})
+		if err != nil {
+			tb.Fatalf("Generate(%d): %v", scaleN, err)
+		}
+		scaleGraph = g
+	})
+	return scaleGraph
+}
+
+// scaleDests spreads k destinations across the index space.
+func scaleDests(g *topo.Graph, k int) []int {
+	dsts := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		dsts = append(dsts, i*g.N()/k)
+	}
+	return dsts
+}
+
+// BenchmarkTableScaleFullCompute builds a 64-destination table over 50k
+// ASes per iteration — the per-destination cost is what a full 44,340-dest
+// paper-scale build multiplies out.
+func BenchmarkTableScaleFullCompute(b *testing.B) {
+	g := scaleTopology(b)
+	dsts := scaleDests(g, 64)
+	b.ResetTimer()
+	var t *Table
+	for i := 0; i < b.N; i++ {
+		t = NewTable(g, dsts, 0)
+	}
+	b.StopTimer()
+	m := t.MemStats()
+	b.ReportMetric(m.BytesPerDest, "bytes/dest")
+	b.ReportMetric(m.BytesPerEntry, "bytes/entry")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(dsts)), "ns/dest")
+}
+
+// BenchmarkTableScaleIncremental fails and restores a busy transit link on
+// a 256-destination table over 50k ASes — the steady-state churn path.
+func BenchmarkTableScaleIncremental(b *testing.B) {
+	g := scaleTopology(b)
+	t := NewTable(g, scaleDests(g, 256), 0)
+	hub := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(hub) {
+			hub = v
+		}
+	}
+	nb := int(g.Neighbors(hub)[0].AS)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.LinkDown(hub, nb)
+		t.LinkUp(hub, nb)
+	}
+	b.StopTimer()
+	st := t.Stats()
+	total := st.IncrementalComputes + st.CleanSkipped
+	if total > 0 {
+		b.ReportMetric(100*float64(st.CleanSkipped)/float64(total), "%skipped")
+	}
+}

@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"sort"
+	"unsafe"
 
 	"repro/internal/obs/span"
 	"repro/internal/parallel"
@@ -36,6 +37,17 @@ func (s *TableStats) Add(o TableStats) {
 	s.LinkEvents += o.LinkEvents
 }
 
+// numShards splits the destination map; 64 keeps per-shard maps small at
+// paper scale (~700 destinations each at 44k) and gives the parallel
+// dirty-set derivation and install natural work units.
+const numShards = 64
+
+func shardOf(dst int) int { return dst & (numShards - 1) }
+
+type tableShard struct {
+	dests map[int32]*Dest
+}
+
 // Table owns the per-destination routing tables for one topology and keeps
 // them current across link failures and recoveries with incremental
 // recomputation: a link event re-runs the three-phase algorithm only for
@@ -44,16 +56,23 @@ func (s *TableStats) Add(o TableStats) {
 // byte-identical to a from-scratch recompute — TestTableIncrementalMatchesFull
 // and FuzzIncrementalTable enforce this.
 //
+// Destinations are sharded by dst & 63: link events derive their dirty
+// sets shard-parallel and install recomputed tables shard-parallel, so the
+// only sequential work per event is the recut and the sort of the (small)
+// dirty list.
+//
 // A Table is not safe for concurrent use; callers that share one across
 // goroutines (core.Deployment) serialize access themselves.
 type Table struct {
 	base    *topo.Graph // the intact topology
 	cur     *topo.Graph // base minus failed links (== base when none)
 	failed  map[topo.LinkRef]bool
-	dests   map[int]*Dest
+	shards  [numShards]tableShard
+	count   int
 	workers int
 	stats   TableStats
 	spans   *span.Tracer
+	arena   *Arena // backs the initial bulk build only; nil after Clone
 }
 
 // SetTracer attaches a span tracer: every subsequent link event emits a
@@ -64,18 +83,28 @@ type Table struct {
 func (t *Table) SetTracer(tr *span.Tracer) { t.spans = tr }
 
 // NewTable computes tables for every destination in dsts over g, in
-// parallel with the given worker bound (0 = all CPUs).
+// parallel with the given worker bound (0 = all CPUs). The initial build
+// allocates all packed arrays from one shared arena (see Arena).
 func NewTable(g *topo.Graph, dsts []int, workers int) *Table {
-	t := &Table{
-		base:    g,
-		cur:     g,
-		failed:  make(map[topo.LinkRef]bool),
-		dests:   make(map[int]*Dest, len(dsts)),
-		workers: workers,
+	t := NewEmptyTable(g, workers)
+	t.arena = NewArena()
+	tables := computeAllArena(g, dsts, workers, t.arena)
+	for _, d := range tables {
+		t.install(d)
 	}
-	tables := ComputeAll(g, dsts, workers)
-	for i, dst := range dsts {
-		t.dests[dst] = tables[i]
+	t.stats.FullComputes += int64(len(dsts))
+	return t
+}
+
+// NewHeapTable is NewTable with per-destination heap allocation instead of
+// the shared build arena: tables superseded by link events become
+// collectable, so a long convergence workload's footprint tracks the live
+// table rather than live + the retained initial build. Tables that are
+// built once and then only queried should prefer NewTable.
+func NewHeapTable(g *topo.Graph, dsts []int, workers int) *Table {
+	t := NewEmptyTable(g, workers)
+	for _, d := range computeAllArena(g, dsts, workers, nil) {
+		t.install(d)
 	}
 	t.stats.FullComputes += int64(len(dsts))
 	return t
@@ -84,29 +113,34 @@ func NewTable(g *topo.Graph, dsts []int, workers int) *Table {
 // NewEmptyTable returns a Table over g with no destinations installed yet;
 // populate it with Install or AddDest.
 func NewEmptyTable(g *topo.Graph, workers int) *Table {
-	return &Table{
+	t := &Table{
 		base:    g,
 		cur:     g,
 		failed:  make(map[topo.LinkRef]bool),
-		dests:   make(map[int]*Dest),
 		workers: workers,
 	}
+	for s := range t.shards {
+		t.shards[s].dests = make(map[int32]*Dest)
+	}
+	return t
 }
 
 // Graph returns the current topology (the intact graph minus failed links).
 func (t *Table) Graph() *topo.Graph { return t.cur }
 
 // Dest returns the table for dst, or nil when dst is not installed.
-func (t *Table) Dest(dst int) *Dest { return t.dests[dst] }
+func (t *Table) Dest(dst int) *Dest { return t.shards[shardOf(dst)].dests[int32(dst)] }
 
 // Len returns the number of installed destinations.
-func (t *Table) Len() int { return len(t.dests) }
+func (t *Table) Len() int { return t.count }
 
 // Dests returns the installed destination indices in ascending order.
 func (t *Table) Dests() []int {
-	out := make([]int, 0, len(t.dests))
-	for dst := range t.dests {
-		out = append(out, dst)
+	out := make([]int, 0, t.count)
+	for s := range t.shards {
+		for dst := range t.shards[s].dests {
+			out = append(out, int(dst))
+		}
 	}
 	sort.Ints(out)
 	return out
@@ -117,22 +151,33 @@ func (t *Table) All() []*Dest {
 	dsts := t.Dests()
 	out := make([]*Dest, len(dsts))
 	for i, dst := range dsts {
-		out[i] = t.dests[dst]
+		out[i] = t.Dest(dst)
 	}
 	return out
+}
+
+// install records d, tracking the destination count.
+func (t *Table) install(d *Dest) {
+	sh := &t.shards[shardOf(d.Dst())]
+	if _, ok := sh.dests[d.dst]; !ok {
+		t.count++
+	}
+	sh.dests[d.dst] = d
 }
 
 // Install records an externally computed table, replacing any previous one
 // for the same destination. The caller is responsible for d matching the
 // Table's current topology.
-func (t *Table) Install(d *Dest) { t.dests[d.Dst()] = d }
+func (t *Table) Install(d *Dest) { t.install(d) }
 
 // AddDest computes (on the current topology) and installs the table for a
 // new destination, returning it. Installed destinations are recomputed in
-// place.
+// place. Late additions allocate from the heap, not the build arena: they
+// may be recomputed and replaced by later link events, and arena memory is
+// never reclaimed.
 func (t *Table) AddDest(dst int) *Dest {
 	d := Compute(t.cur, dst)
-	t.dests[dst] = d
+	t.install(d)
 	t.stats.FullComputes++
 	return d
 }
@@ -140,24 +185,67 @@ func (t *Table) AddDest(dst int) *Dest {
 // Stats returns the accumulated computation counters.
 func (t *Table) Stats() TableStats { return t.stats }
 
+// TableMemStats accounts a Table's routing-state footprint.
+type TableMemStats struct {
+	// Dests is the number of installed destinations.
+	Dests int
+	// Entries is the total packed route entries (Dests × N).
+	Entries int64
+	// PackedBytes is the size of all packed entry arrays.
+	PackedBytes int64
+	// OverflowBytes is the size of all hop-overflow side tables.
+	OverflowBytes int64
+	// BytesPerDest is (PackedBytes+OverflowBytes) / Dests.
+	BytesPerDest float64
+	// BytesPerEntry is (PackedBytes+OverflowBytes) / Entries.
+	BytesPerEntry float64
+	// ArenaRetainedBytes is what the build arena reserved, including slab
+	// tails; zero for tables built destination-by-destination or cloned.
+	ArenaRetainedBytes int64
+}
+
+// MemStats sums the footprint of every installed destination table.
+func (t *Table) MemStats() TableMemStats {
+	m := TableMemStats{Dests: t.count}
+	for s := range t.shards {
+		for _, d := range t.shards[s].dests {
+			m.Entries += int64(len(d.packed))
+			m.PackedBytes += int64(cap(d.packed)) * 4
+			m.OverflowBytes += int64(cap(d.overflow)) * int64(unsafe.Sizeof(hopOverflow{}))
+		}
+	}
+	if m.Dests > 0 {
+		m.BytesPerDest = float64(m.PackedBytes+m.OverflowBytes) / float64(m.Dests)
+	}
+	if m.Entries > 0 {
+		m.BytesPerEntry = float64(m.PackedBytes+m.OverflowBytes) / float64(m.Entries)
+	}
+	m.ArenaRetainedBytes = t.arena.Stats().RetainedBytes
+	return m
+}
+
 // Clone returns a Table sharing the (immutable) per-destination tables and
 // the topology state but with fresh counters: incremental work done on the
 // clone does not disturb the original, which is how the simulator keeps an
-// intact reference table while failures evolve a copy.
+// intact reference table while failures evolve a copy. The clone does not
+// inherit the build arena — its recomputes allocate from the heap.
 func (t *Table) Clone() *Table {
 	c := &Table{
 		base:    t.base,
 		cur:     t.cur,
 		failed:  make(map[topo.LinkRef]bool, len(t.failed)),
-		dests:   make(map[int]*Dest, len(t.dests)),
+		count:   t.count,
 		workers: t.workers,
 		spans:   t.spans,
 	}
 	for r := range t.failed {
 		c.failed[r] = true
 	}
-	for dst, d := range t.dests {
-		c.dests[dst] = d
+	for s := range t.shards {
+		c.shards[s].dests = make(map[int32]*Dest, len(t.shards[s].dests))
+		for dst, d := range t.shards[s].dests {
+			c.shards[s].dests[dst] = d
+		}
 	}
 	return c
 }
@@ -192,12 +280,7 @@ func (t *Table) LinkDownCtx(a, b int, parent span.Context) int {
 		return 0
 	}
 	sp := t.startRecompute(a, b, parent)
-	dirty := make([]int, 0, len(t.dests))
-	for dst, d := range t.dests {
-		if d.usesLink(a, b) {
-			dirty = append(dirty, dst)
-		}
-	}
+	dirty := t.dirtyDests(func(d *Dest) bool { return d.usesLink(a, b) })
 	ref := normLinkRef(a, b)
 	t.failed[ref] = true
 	t.recut()
@@ -238,18 +321,34 @@ func (t *Table) LinkUpCtx(a, b int, parent span.Context) int {
 		panic("bgp: LinkUp restored a link absent from the base graph")
 	}
 	relBA := relAB.Invert() // a's role from b's viewpoint
-	dirty := make([]int, 0, len(t.dests))
-	for dst, d := range t.dests {
-		// offerWins wants the announcer's role as seen from the receiver:
-		// b announcing to a is classified by Rel(a, b), and vice versa.
-		if offerWins(d, b, a, relAB) || offerWins(d, a, b, relBA) {
-			dirty = append(dirty, dst)
-		}
-	}
+	// offerWins wants the announcer's role as seen from the receiver:
+	// b announcing to a is classified by Rel(a, b), and vice versa.
+	dirty := t.dirtyDests(func(d *Dest) bool {
+		return offerWins(d, b, a, relAB) || offerWins(d, a, b, relBA)
+	})
 	t.recompute(dirty, sp.Context())
 	sp.V = float64(len(dirty))
 	sp.End()
 	return len(dirty)
+}
+
+// dirtyDests scans every installed destination with affected, one parallel
+// worker per shard, and returns the dirty destination indices (unsorted).
+func (t *Table) dirtyDests(affected func(*Dest) bool) []int {
+	perShard := parallel.Map(numShards, t.workers, func(s int) []int {
+		var out []int
+		for dst, d := range t.shards[s].dests {
+			if affected(d) {
+				out = append(out, int(dst))
+			}
+		}
+		return out
+	})
+	var dirty []int
+	for _, part := range perShard {
+		dirty = append(dirty, part...)
+	}
+	return dirty
 }
 
 // startRecompute opens the route_recompute span shared by both link
@@ -265,31 +364,32 @@ func (t *Table) startRecompute(a, b int, parent span.Context) span.Span {
 // undirected link (a, b) — i.e. either endpoint's best route exits through
 // the other.
 func (d *Dest) usesLink(a, b int) bool {
-	return int(d.next[a]) == b || int(d.next[b]) == a
+	return int(d.next32(a)) == b || int(d.next32(b)) == a
 }
 
 // offerWins reports whether the route `from` would offer `to` across a
 // restored direct link beats to's incumbent best route. rel is from's role
 // as seen from to (so the offered route's class at to is classOf(rel)).
 func offerWins(d *Dest, from, to int, rel topo.Rel) bool {
-	if d.class[from] == ClassUnreachable {
+	fromClass := d.cls(from)
+	if fromClass == ClassUnreachable {
 		return false // nothing to offer
 	}
 	// Valley-free export at from: to its customers from exports everything;
 	// to peers and providers only customer (or origin) routes. to is from's
 	// customer iff from is to's provider.
-	if rel != topo.Provider && d.class[from] != ClassOrigin && d.class[from] != ClassCustomer {
+	if rel != topo.Provider && fromClass != ClassOrigin && fromClass != ClassCustomer {
 		return false
 	}
 	// Standard AS-path loop filter: from's route must not already contain to.
 	if d.onBestPath(from, to) {
 		return false
 	}
-	if d.class[to] == ClassUnreachable {
+	if d.cls(to) == ClassUnreachable {
 		return true // to gains its first route
 	}
-	cand := Alt{Via: int32(from), Class: classOf(rel), Hops: d.hops[from] + 1}
-	cur := Alt{Via: d.next[to], Class: d.class[to], Hops: d.hops[to]}
+	cand := Alt{Via: int32(from), Class: classOf(rel), Hops: d.hops16(from) + 1}
+	cur := Alt{Via: d.next32(to), Class: d.cls(to), Hops: d.hops16(to)}
 	return cand.Better(cur)
 }
 
@@ -314,39 +414,75 @@ func (t *Table) recut() {
 	t.cur = g
 }
 
+// recomputeChunkBytes bounds the packed-table bytes one recompute wave
+// holds before installing: at paper scale a hub-link failure dirties
+// thousands of destinations, and computing them all before installing any
+// would double-buffer gigabytes of routes next to the tables they replace.
+var recomputeChunkBytes = int64(128 << 20) // a var so tests can force multi-wave runs
+
 // recompute re-runs the three-phase algorithm for the given destinations
 // on the current graph, in parallel, emitting one dest_recompute span
-// per destination under parent when a tracer is attached.
+// per destination under parent when a tracer is attached. Fresh tables
+// allocate from the heap (not the build arena) so the superseded arrays
+// can be collected, and are computed and installed in waves sized by
+// recomputeChunkBytes — the transient footprint is one wave, not the whole
+// dirty set. Installation fans out across shards in parallel; workers
+// never touch the same shard map concurrently.
 func (t *Table) recompute(dirty []int, parent span.Context) {
 	t.stats.IncrementalComputes += int64(len(dirty))
-	t.stats.CleanSkipped += int64(len(t.dests) - len(dirty))
+	t.stats.CleanSkipped += int64(t.count - len(dirty))
 	if len(dirty) == 0 {
 		return
 	}
 	sort.Ints(dirty) // deterministic work order
-	fresh := parallel.Map(len(dirty), t.workers, func(i int) *Dest {
-		ds := t.spans.Start("dest_recompute", parent, int32(dirty[i]))
-		d := Compute(t.cur, dirty[i])
-		ds.End()
-		return d
-	})
-	for i, dst := range dirty {
-		t.dests[dst] = fresh[i]
+	chunk := int(recomputeChunkBytes / (4 * int64(t.cur.N())))
+	if chunk < 64 {
+		chunk = 64
+	}
+	byShard := make([][]*Dest, numShards)
+	for lo := 0; lo < len(dirty); lo += chunk {
+		hi := lo + chunk
+		if hi > len(dirty) {
+			hi = len(dirty)
+		}
+		wave := dirty[lo:hi]
+		fresh := parallel.Map(len(wave), t.workers, func(i int) *Dest {
+			ds := t.spans.Start("dest_recompute", parent, int32(wave[i]))
+			d := Compute(t.cur, wave[i])
+			ds.End()
+			return d
+		})
+		for s := range byShard {
+			byShard[s] = byShard[s][:0]
+		}
+		for _, d := range fresh {
+			s := shardOf(d.Dst())
+			byShard[s] = append(byShard[s], d)
+		}
+		parallel.ForEach(numShards, t.workers, func(s int) {
+			for _, d := range byShard[s] {
+				t.shards[s].dests[d.dst] = d // replace-only: count is unchanged
+			}
+		})
 	}
 }
 
 // Equal reports whether two tables for the same destination are
-// byte-identical: same class, path length, and next hop at every AS. It is
-// the differential-testing oracle for incremental recomputation.
+// byte-identical: same packed words and overflow entries, hence same
+// class, path length, and next hop at every AS (packing is canonical —
+// unreachable entries collapse to one sentinel word). It is the
+// differential-testing oracle for incremental recomputation.
 func (d *Dest) Equal(o *Dest) bool {
-	if d.dst != o.dst || len(d.class) != len(o.class) {
+	if d.dst != o.dst || len(d.packed) != len(o.packed) || len(d.overflow) != len(o.overflow) {
 		return false
 	}
-	for i := range d.class {
-		if d.class[i] != o.class[i] || d.next[i] != o.next[i] {
+	for i := range d.packed {
+		if d.packed[i] != o.packed[i] {
 			return false
 		}
-		if d.class[i] != ClassUnreachable && d.hops[i] != o.hops[i] {
+	}
+	for i := range d.overflow {
+		if d.overflow[i] != o.overflow[i] {
 			return false
 		}
 	}

@@ -261,3 +261,56 @@ func pickLink(g *topo.Graph) (int, int) {
 	}
 	return best, int(g.Neighbors(best)[0].AS)
 }
+
+// TestNewHeapTable proves the heap-backed build is byte-identical to the
+// arena-backed one and retains no arena memory (its tables must be
+// collectable once link events replace them).
+func TestNewHeapTable(t *testing.T) {
+	g := tableTopology(t)
+	arena := NewTable(g, allDests(g), 0)
+	heap := NewHeapTable(g, allDests(g), 0)
+	if heap.Len() != arena.Len() {
+		t.Fatalf("heap table has %d dests, arena %d", heap.Len(), arena.Len())
+	}
+	for _, dst := range arena.Dests() {
+		if !heap.Dest(dst).Equal(arena.Dest(dst)) {
+			t.Fatalf("heap and arena tables diverge at dst %d", dst)
+		}
+	}
+	if got := heap.MemStats().ArenaRetainedBytes; got != 0 {
+		t.Fatalf("heap table retains %d arena bytes", got)
+	}
+	if arena.MemStats().ArenaRetainedBytes == 0 {
+		t.Fatal("arena table reports no retained arena bytes")
+	}
+	if got, want := heap.Stats().FullComputes, int64(g.N()); got != want {
+		t.Fatalf("heap build FullComputes = %d, want %d", got, want)
+	}
+}
+
+// TestRecomputeChunked forces multi-wave recomputation (the bounded-memory
+// path a paper-scale dirty set takes) and proves the result still matches a
+// from-scratch compute. A star topology makes every destination dirty: the
+// leaf behind the failed link routes everywhere through it.
+func TestRecomputeChunked(t *testing.T) {
+	defer func(prev int64) { recomputeChunkBytes = prev }(recomputeChunkBytes)
+	recomputeChunkBytes = 1 // chunk floor is 64 dests -> 300 dirty = 5 waves
+
+	b := topo.NewBuilder(300)
+	for v := 1; v < 300; v++ {
+		b.AddPC(0, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(g, allDests(g), 0)
+	tab.LinkDown(0, 1)
+	checkAgainstScratch(t, tab, "after chunked LinkDown")
+	tab.LinkUp(0, 1)
+	checkAgainstScratch(t, tab, "after chunked LinkUp")
+	st := tab.Stats()
+	if st.IncrementalComputes < 300 {
+		t.Fatalf("IncrementalComputes = %d, want >= 300 (all dests dirty on the down event)", st.IncrementalComputes)
+	}
+}

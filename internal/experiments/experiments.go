@@ -47,6 +47,11 @@ type Options struct {
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
 
+	// Graph, when non-nil, is used as the experiment topology instead of
+	// generating one from N and Seed (mifo-sim's -topo flag). Callers
+	// should set N to Graph.N() so rate auto-scaling sees the real size.
+	Graph *topo.Graph
+
 	// CongestionThreshold, ReturnThreshold and Quality tune MIFO's control
 	// loop (zero values take netsim's defaults). Exposed for the ablation
 	// benchmarks.
@@ -96,8 +101,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Topology generates the experiment topology for the given options.
+// Topology returns the experiment topology for the given options: the
+// explicit Graph override when set, a generated one otherwise.
 func Topology(o Options) (*topo.Graph, error) {
+	if o.Graph != nil {
+		return o.Graph, nil
+	}
 	o = o.withDefaults()
 	return topo.Generate(topo.GenConfig{N: o.N, Seed: o.Seed})
 }

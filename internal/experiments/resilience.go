@@ -123,12 +123,14 @@ func busiestLink(g *topo.Graph, flows []traffic.Flow, workers int) (int, int) {
 	type edge struct{ a, b int }
 	counts := map[edge]int{}
 	crossing := map[edge][]traffic.Flow{}
+	var pathBuf []int // reused across the whole workload scan
 	for _, f := range flows {
 		t := byDst[f.Dst]
 		if t == nil || !t.Reachable(f.Src) {
 			continue
 		}
-		path := t.ASPath(f.Src)
+		path := t.ASPathInto(f.Src, pathBuf)
+		pathBuf = path
 		for i := 0; i+1 < len(path); i++ {
 			a, b := path[i], path[i+1]
 			if a > b {

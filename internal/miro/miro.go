@@ -69,7 +69,8 @@ func (c Config) AvailablePaths(g *topo.Graph, d *bgp.Dest, src int, capable []bo
 	if !isCap(src) {
 		return count // the source cannot negotiate
 	}
-	for _, u := range d.ASPath(src) {
+	var pathBuf [24]int // Internet AS paths are short; counting only reads
+	for _, u := range d.ASPathInto(src, pathBuf[:0]) {
 		if u == d.Dst() || !isCap(u) {
 			continue
 		}

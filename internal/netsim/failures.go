@@ -87,10 +87,12 @@ func (s *Sim) handleReconverge(fi int) {
 		}
 		return
 	}
-	newPath := table.ASPath(st.Src)
-	if samePath(newPath, st.path) && !st.withdrawn {
+	walked := table.ASPathInto(st.Src, s.pathScratch)
+	s.pathScratch = walked[:0]
+	if samePath(walked, st.path) && !st.withdrawn {
 		return
 	}
+	newPath := append([]int(nil), walked...) // escaping: flow state keeps it
 	st.withdrawn = false
 	s.setPath(st, newPath, st.rate)
 	st.reroutes++

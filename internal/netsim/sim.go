@@ -279,6 +279,22 @@ type Sim struct {
 
 	miroAlts map[int64][]miro.Alternate // memoized per (src,dst)
 
+	// pathScratch backs the repaired-route walk in handleReconverge: the
+	// common outcome is "path unchanged", so the walk reuses one buffer and
+	// only paths that actually moved are copied out.
+	pathScratch []int
+
+	// Streaming mode (RunStream): flows are pulled one at a time from
+	// stream, retired flows recycle their slot through free, and outcomes
+	// fold into sres as they finish — nothing per-flow is retained. All
+	// nil/zero in batch mode.
+	stream      traffic.Stream
+	streamLimit int // max flows to pull; <= 0 means drain the stream
+	pulled      int
+	free        []int32
+	sres        *StreamResults
+	streamErr   error
+
 	// TSDB instrumentation (nil unless cfg.TSDB is set; see tsdb.go).
 	tsRun       string
 	tsWatermark float64
@@ -337,29 +353,7 @@ func Run(g *topo.Graph, flows []traffic.Flow, cfg Config) (*Results, error) {
 		}
 	}
 
-	for {
-		ev := s.queue.Pop()
-		if ev == nil {
-			break
-		}
-		s.advance(ev.Time)
-		switch ev.Kind {
-		case evArrival:
-			s.handleArrival(int(ev.Data.(int32)))
-		case evCompletion:
-			s.compEvt = nil
-			s.handleCompletions()
-		case evEpoch:
-			s.epochOn = false
-			s.handleEpoch()
-		case evFail:
-			s.handleFail(s.cfg.Failures[ev.Data.(int)])
-		case evRecover:
-			s.handleRecover(s.cfg.Failures[ev.Data.(int)])
-		case evReconverge:
-			s.handleReconverge(int(ev.Data.(int32)))
-		}
-	}
+	s.eventLoop()
 
 	// One final sample pins the cumulative counters' end state, so the
 	// episode report's totals match Results exactly.
@@ -389,6 +383,40 @@ func Run(g *topo.Graph, flows []traffic.Flow, cfg Config) (*Results, error) {
 		res.Flows[i] = fr
 	}
 	return res, nil
+}
+
+// eventLoop drains the queue. In streaming mode each handled arrival pulls
+// the next flow from the source (arrival times are monotone, so one
+// outstanding arrival event suffices); batch mode pre-pushed every arrival
+// and pullNext is a no-op.
+func (s *Sim) eventLoop() {
+	for {
+		ev := s.queue.Pop()
+		if ev == nil {
+			break
+		}
+		s.advance(ev.Time)
+		switch ev.Kind {
+		case evArrival:
+			s.handleArrival(int(ev.Data.(int32)))
+			s.pullNext()
+			if s.streamErr != nil {
+				return
+			}
+		case evCompletion:
+			s.compEvt = nil
+			s.handleCompletions()
+		case evEpoch:
+			s.epochOn = false
+			s.handleEpoch()
+		case evFail:
+			s.handleFail(s.cfg.Failures[ev.Data.(int)])
+		case evRecover:
+			s.handleRecover(s.cfg.Failures[ev.Data.(int)])
+		case evReconverge:
+			s.handleReconverge(int(ev.Data.(int32)))
+		}
+	}
 }
 
 // buildLinks prepares the CSR directed-link index.
@@ -479,6 +507,7 @@ func (s *Sim) handleArrival(fi int) {
 		st.unroutable = true
 		st.done = true
 		st.finish = s.now
+		s.retire(int32(fi))
 		return
 	}
 	st.defPath = table.ASPath(st.Src)
@@ -503,6 +532,9 @@ func (s *Sim) handleArrival(fi int) {
 	}
 
 	s.active = append(s.active, int32(fi))
+	if s.sres != nil && len(s.active) > s.sres.PeakActive {
+		s.sres.PeakActive = len(s.active)
+	}
 	s.afterTopologyChange()
 	if !s.epochOn && s.cfg.Policy == PolicyMIFO {
 		s.queue.Push(s.now+s.cfg.ControlInterval, evEpoch, nil)
@@ -521,6 +553,7 @@ func (s *Sim) handleCompletions() {
 			st.left = 0
 			st.finish = s.now
 			changed = true
+			s.retire(fi)
 		} else {
 			kept = append(kept, fi)
 		}

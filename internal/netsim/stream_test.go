@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// sliceStream adapts a pre-generated flow slice to the Stream interface.
+type sliceStream struct {
+	flows []traffic.Flow
+	i     int
+}
+
+func (s *sliceStream) Next() (traffic.Flow, bool) {
+	if s.i >= len(s.flows) {
+		return traffic.Flow{}, false
+	}
+	f := s.flows[s.i]
+	s.i++
+	return f, true
+}
+
+func distinctDests(flows []traffic.Flow) []int {
+	seen := map[int]bool{}
+	var dsts []int
+	for _, f := range flows {
+		if !seen[f.Dst] {
+			seen[f.Dst] = true
+			dsts = append(dsts, f.Dst)
+		}
+	}
+	sort.Ints(dsts)
+	return dsts
+}
+
+// TestRunStreamMatchesBatch drives the identical workload through Run and
+// RunStream (with a mid-run failure) and requires every aggregate to
+// agree: the streaming mode must change memory behavior, not outcomes.
+func TestRunStreamMatchesBatch(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 150, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := traffic.Uniform(traffic.UniformConfig{N: g.N(), Flows: 800, ArrivalRate: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := flows[len(flows)-1].Arrival
+	hub := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(hub) {
+			hub = v
+		}
+	}
+	failure := LinkFailure{A: hub, B: int(g.Neighbors(hub)[0].AS), At: horizon / 3, RecoverAt: 2 * horizon / 3}
+
+	for _, pol := range []Policy{PolicyBGP, PolicyMIRO, PolicyMIFO} {
+		cfg := Config{Policy: pol, Failures: []LinkFailure{failure}, ReconvergenceDelay: horizon / 12}
+		batch, err := Run(g, flows, cfg)
+		if err != nil {
+			t.Fatalf("%v: batch: %v", pol, err)
+		}
+		stream, err := RunStream(g, &sliceStream{flows: flows}, distinctDests(flows), 0, cfg)
+		if err != nil {
+			t.Fatalf("%v: stream: %v", pol, err)
+		}
+
+		if stream.Flows != len(flows) {
+			t.Errorf("%v: stream pulled %d flows, want %d", pol, stream.Flows, len(flows))
+		}
+		if got, want := stream.Routable(), batch.Routable(); got != want {
+			t.Errorf("%v: routable %d, batch %d", pol, got, want)
+		}
+		var completed, usedAlt, switches, reroutes, stalledForever int
+		var offBits, stalledTime float64
+		for i := range batch.Flows {
+			f := &batch.Flows[i]
+			if f.Unroutable {
+				continue
+			}
+			if !f.Stalled {
+				completed++
+			} else {
+				stalledForever++
+			}
+			if f.UsedAlt {
+				usedAlt++
+			}
+			switches += f.Switches
+			reroutes += f.Reroutes
+			offBits += f.OffloadedBits
+			stalledTime += f.StalledTime
+		}
+		if stream.Completed != completed {
+			t.Errorf("%v: completed %d, batch %d", pol, stream.Completed, completed)
+		}
+		if stream.StalledForever != stalledForever {
+			t.Errorf("%v: stalled %d, batch %d", pol, stream.StalledForever, stalledForever)
+		}
+		if stream.UsedAlt != usedAlt {
+			t.Errorf("%v: usedAlt %d, batch %d", pol, stream.UsedAlt, usedAlt)
+		}
+		if stream.Switches != switches {
+			t.Errorf("%v: switches %d, batch %d", pol, stream.Switches, switches)
+		}
+		if stream.Reroutes != reroutes {
+			t.Errorf("%v: reroutes %d, batch %d", pol, stream.Reroutes, reroutes)
+		}
+		if math.Abs(stream.OffloadedBits-offBits) > 1e-6*(1+math.Abs(offBits)) {
+			t.Errorf("%v: offloaded %v, batch %v", pol, stream.OffloadedBits, offBits)
+		}
+		if math.Abs(stream.StalledTime-stalledTime) > 1e-6*(1+math.Abs(stalledTime)) {
+			t.Errorf("%v: stalledTime %v, batch %v", pol, stream.StalledTime, stalledTime)
+		}
+		if got, want := stream.MeanThroughputMbps(), batch.MeanThroughputMbps(); math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("%v: mean throughput %v, batch %v", pol, got, want)
+		}
+		if got, want := stream.Routing, batch.Routing; got != want {
+			t.Errorf("%v: routing stats %+v, batch %+v", pol, got, want)
+		}
+
+		// The memory-bound claim: slots scale with concurrency, not Flows.
+		if stream.PeakFlowSlots > stream.PeakActive+1 {
+			t.Errorf("%v: PeakFlowSlots %d exceeds PeakActive+1 (%d)", pol, stream.PeakFlowSlots, stream.PeakActive+1)
+		}
+		if stream.PeakFlowSlots >= len(flows)/2 {
+			t.Errorf("%v: PeakFlowSlots %d not bounded (%d flows)", pol, stream.PeakFlowSlots, len(flows))
+		}
+	}
+}
+
+// TestRunStreamFractionGranularity pins the histogram semantics: exact at
+// bucket multiples, conservative otherwise.
+func TestRunStreamFractionGranularity(t *testing.T) {
+	var r StreamResults
+	r.Flows = 4
+	r.addThroughput(3)   // bucket 0
+	r.addThroughput(5)   // bucket 1
+	r.addThroughput(12)  // bucket 2
+	r.addThroughput(999) // bucket 199
+	if got := r.FractionAtLeastMbps(5); got != 0.75 {
+		t.Fatalf("FractionAtLeastMbps(5) = %v, want 0.75", got)
+	}
+	if got := r.FractionAtLeastMbps(0); got != 1 {
+		t.Fatalf("FractionAtLeastMbps(0) = %v, want 1", got)
+	}
+	if got := r.FractionAtLeastMbps(1200); got != 0 {
+		t.Fatalf("FractionAtLeastMbps(1200) = %v, want 0", got)
+	}
+}
+
+func TestRunStreamRejectsBadFlows(t *testing.T) {
+	g, err := topo.Generate(topo.GenConfig{N: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []traffic.Flow{{ID: 0, Src: 5, Dst: 5, SizeBits: 1, Arrival: 0.1}}
+	if _, err := RunStream(g, &sliceStream{flows: bad}, []int{5}, 0, Config{}); err == nil {
+		t.Fatal("want error for self-pair flow")
+	}
+	unordered := []traffic.Flow{
+		{ID: 0, Src: 1, Dst: 2, SizeBits: 1, Arrival: 5},
+		{ID: 1, Src: 2, Dst: 3, SizeBits: 1, Arrival: 1},
+	}
+	if _, err := RunStream(g, &sliceStream{flows: unordered}, []int{2, 3}, 0, Config{}); err == nil {
+		t.Fatal("want error for non-monotone arrivals")
+	}
+	if _, err := RunStream(g, &sliceStream{}, []int{99}, 0, Config{}); err == nil {
+		t.Fatal("want error for out-of-range destination")
+	}
+}

@@ -7,33 +7,37 @@ type LinkRef struct {
 
 // RemoveLinks returns a copy of g without the given links. Links that do
 // not exist are ignored. The result shares no state with g.
+//
+// The copy is a direct CSR filter: one pass over the packed neighbor arena
+// dropping removed entries. Segments stay sorted (filtering preserves
+// order) and removal cannot introduce a provider-customer cycle, so no
+// rebuild through Builder — and no re-sort or cycle check — is needed.
+// The error return is kept for call-site compatibility; it is always nil.
 func RemoveLinks(g *Graph, remove []LinkRef) (*Graph, error) {
-	gone := make(map[[2]int32]bool, len(remove))
+	gone := make(map[uint64]struct{}, len(remove))
 	for _, l := range remove {
-		a, b := int32(l.A), int32(l.B)
-		if a > b {
-			a, b = b, a
+		if l.A < 0 || l.A >= g.N() || l.B < 0 || l.B >= g.N() || l.A == l.B {
+			continue
 		}
-		gone[[2]int32{a, b}] = true
+		gone[linkKey(l.A, l.B)] = struct{}{}
 	}
-	b := NewBuilder(g.N())
+	out := &Graph{
+		off:  make([]int32, g.N()+1),
+		nbrs: make([]Neighbor, 0, len(g.nbrs)),
+	}
 	for v := 0; v < g.N(); v++ {
 		for _, nb := range g.Neighbors(v) {
-			if int32(v) > nb.AS {
-				continue // wire each link once
-			}
-			if gone[[2]int32{int32(v), nb.AS}] {
+			if _, cut := gone[linkKey(v, int(nb.AS))]; cut {
 				continue
 			}
-			switch nb.Rel {
-			case Customer:
-				b.AddPC(v, int(nb.AS))
-			case Provider:
-				b.AddPC(int(nb.AS), v)
-			case Peer:
-				b.AddPeer(v, int(nb.AS))
+			out.nbrs = append(out.nbrs, nb)
+			if nb.Rel == Customer {
+				out.pcLinks++
+			} else if nb.Rel == Peer && int32(v) < nb.AS {
+				out.peerLinks++
 			}
 		}
+		out.off[v+1] = int32(len(out.nbrs))
 	}
-	return b.Build()
+	return out, nil
 }

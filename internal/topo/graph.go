@@ -11,6 +11,7 @@ package topo
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 )
 
 // Rel is the business relationship of a neighbor as seen from the AS that
@@ -60,16 +61,22 @@ type Neighbor struct {
 }
 
 // Graph is an immutable AS-level topology. ASes are dense indices [0, N).
-// Adjacency lists are sorted by neighbor index, enabling binary-search
-// relationship lookups.
+//
+// Adjacency is stored CSR-style in one arena: a single offsets array plus
+// one packed neighbor array shared by every AS, so a 44,340-AS / 109,360-
+// link Internet graph is exactly two allocations (~1.9 MB) instead of one
+// slice header + backing array per AS. Per-AS adjacency segments are
+// sorted by neighbor index, enabling binary-search relationship lookups on
+// hub ASes with thousands of neighbors.
 type Graph struct {
-	adj       [][]Neighbor
+	off       []int32    // len N()+1; AS v's neighbors live in nbrs[off[v]:off[v+1]]
+	nbrs      []Neighbor // len 2*Links(), sorted by neighbor index within each segment
 	pcLinks   int
 	peerLinks int
 }
 
 // N returns the number of ASes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return len(g.off) - 1 }
 
 // Links returns the total number of undirected inter-AS links.
 func (g *Graph) Links() int { return g.pcLinks + g.peerLinks }
@@ -81,16 +88,48 @@ func (g *Graph) PCLinks() int { return g.pcLinks }
 func (g *Graph) PeerLinks() int { return g.peerLinks }
 
 // Degree returns the number of neighbors of AS v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
 // Neighbors returns the adjacency list of AS v, sorted by neighbor index.
-// The returned slice is shared; callers must not modify it.
-func (g *Graph) Neighbors(v int) []Neighbor { return g.adj[v] }
+// The returned slice aliases the graph's packed arena; callers must not
+// modify it.
+func (g *Graph) Neighbors(v int) []Neighbor { return g.nbrs[g.off[v]:g.off[v+1]] }
+
+// MemStats accounts the graph's memory footprint.
+type MemStats struct {
+	// Nodes and Links mirror N() and Links().
+	Nodes, Links int
+	// OffsetBytes is the size of the CSR offsets array.
+	OffsetBytes int64
+	// NeighborBytes is the size of the packed neighbor arena
+	// (two directed entries per undirected link).
+	NeighborBytes int64
+	// TotalBytes is the sum of the above — the whole adjacency footprint.
+	TotalBytes int64
+	// BytesPerLink is TotalBytes per undirected link.
+	BytesPerLink float64
+}
+
+// MemStats returns the adjacency arena's memory accounting.
+func (g *Graph) MemStats() MemStats {
+	m := MemStats{
+		Nodes:         g.N(),
+		Links:         g.Links(),
+		OffsetBytes:   int64(cap(g.off)) * int64(unsafe.Sizeof(int32(0))),
+		NeighborBytes: int64(cap(g.nbrs)) * int64(unsafe.Sizeof(Neighbor{})),
+	}
+	m.TotalBytes = m.OffsetBytes + m.NeighborBytes
+	if m.Links > 0 {
+		m.BytesPerLink = float64(m.TotalBytes) / float64(m.Links)
+	}
+	return m
+}
 
 // Rel returns the relationship of neighbor u as seen from v, and whether a
-// link (v, u) exists.
+// link (v, u) exists. Adjacency segments are sorted, so this is a binary
+// search — O(log degree) even on hub ASes (see BenchmarkGraphRelHub).
 func (g *Graph) Rel(v, u int) (Rel, bool) {
-	list := g.adj[v]
+	list := g.Neighbors(v)
 	i := sort.Search(len(list), func(i int) bool { return list[i].AS >= int32(u) })
 	if i < len(list) && list[i].AS == int32(u) {
 		return list[i].Rel, true
@@ -113,7 +152,7 @@ func (g *Graph) IsCustomer(v, u int) bool {
 // CustomerCount returns the number of customers of v.
 func (g *Graph) CustomerCount(v int) int {
 	n := 0
-	for _, nb := range g.adj[v] {
+	for _, nb := range g.Neighbors(v) {
 		if nb.Rel == Customer {
 			n++
 		}
@@ -126,7 +165,7 @@ func (g *Graph) CustomerCount(v int) int {
 // of providers and peers").
 func (g *Graph) TransitNeighborCount(v int) int {
 	n := 0
-	for _, nb := range g.adj[v] {
+	for _, nb := range g.Neighbors(v) {
 		if nb.Rel != Customer {
 			n++
 		}
@@ -181,15 +220,31 @@ func (g *Graph) Stats() Stats {
 }
 
 // Builder accumulates links and produces an immutable Graph.
+//
+// Link existence is tracked in a hash set keyed by the endpoint pair, so
+// duplicate detection and HasLink are O(1) regardless of degree — adding
+// the last peering link of a 5,000-neighbor hub costs the same as its
+// first (the per-AS linear scans this replaces made building hub-heavy
+// topologies quadratic in hub degree).
 type Builder struct {
-	n   int
-	adj [][]Neighbor
-	err error
+	n     int
+	adj   [][]Neighbor
+	links map[uint64]struct{}
+	edges int // directed adjacency entries accumulated so far
+	err   error
 }
 
 // NewBuilder returns a Builder for a topology with n ASes and no links.
 func NewBuilder(n int) *Builder {
-	return &Builder{n: n, adj: make([][]Neighbor, n)}
+	return &Builder{n: n, adj: make([][]Neighbor, n), links: make(map[uint64]struct{})}
+}
+
+// linkKey names the undirected pair (v, u) order-independently.
+func linkKey(v, u int) uint64 {
+	if v > u {
+		v, u = u, v
+	}
+	return uint64(uint32(v))<<32 | uint64(uint32(u))
 }
 
 func (b *Builder) check(v, u int) bool {
@@ -204,20 +259,24 @@ func (b *Builder) check(v, u int) bool {
 		b.err = fmt.Errorf("topo: self-link at AS %d", v)
 		return false
 	}
-	for _, nb := range b.adj[v] {
-		if nb.AS == int32(u) {
-			b.err = fmt.Errorf("topo: duplicate link between AS %d and AS %d", v, u)
-			return false
-		}
+	if _, dup := b.links[linkKey(v, u)]; dup {
+		b.err = fmt.Errorf("topo: duplicate link between AS %d and AS %d", v, u)
+		return false
 	}
 	return true
+}
+
+func (b *Builder) add(v, u int, rel Rel) {
+	b.links[linkKey(v, u)] = struct{}{}
+	b.adj[v] = append(b.adj[v], Neighbor{AS: int32(u), Rel: rel})
+	b.adj[u] = append(b.adj[u], Neighbor{AS: int32(v), Rel: rel.Invert()})
+	b.edges += 2
 }
 
 // AddPC records a provider–customer link: provider serves customer.
 func (b *Builder) AddPC(provider, customer int) *Builder {
 	if b.check(provider, customer) {
-		b.adj[provider] = append(b.adj[provider], Neighbor{AS: int32(customer), Rel: Customer})
-		b.adj[customer] = append(b.adj[customer], Neighbor{AS: int32(provider), Rel: Provider})
+		b.add(provider, customer, Customer)
 	}
 	return b
 }
@@ -225,23 +284,19 @@ func (b *Builder) AddPC(provider, customer int) *Builder {
 // AddPeer records a settlement-free peering link between a and b.
 func (b *Builder) AddPeer(x, y int) *Builder {
 	if b.check(x, y) {
-		b.adj[x] = append(b.adj[x], Neighbor{AS: int32(y), Rel: Peer})
-		b.adj[y] = append(b.adj[y], Neighbor{AS: int32(x), Rel: Peer})
+		b.add(x, y, Peer)
 	}
 	return b
 }
 
 // HasLink reports whether a link between v and u has been added so far.
+// It is a constant-time set lookup.
 func (b *Builder) HasLink(v, u int) bool {
 	if v < 0 || v >= b.n || u < 0 || u >= b.n {
 		return false
 	}
-	for _, nb := range b.adj[v] {
-		if nb.AS == int32(u) {
-			return true
-		}
-	}
-	return false
+	_, ok := b.links[linkKey(v, u)]
+	return ok
 }
 
 // Degree returns the current number of neighbors of v.
@@ -250,14 +305,25 @@ func (b *Builder) Degree(v int) int { return len(b.adj[v]) }
 // Build validates the accumulated links and returns the Graph. The
 // provider–customer digraph must be acyclic (a Gao–Rexford assumption the
 // paper's loop-freedom proof relies on).
+//
+// Build packs the per-AS lists into the CSR arena (one offsets array, one
+// neighbor array) and sorts each AS's segment by neighbor index.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	g := &Graph{adj: b.adj}
-	for v := range g.adj {
-		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i].AS < g.adj[v][j].AS })
-		for _, nb := range g.adj[v] {
+	g := &Graph{
+		off:  make([]int32, b.n+1),
+		nbrs: make([]Neighbor, 0, b.edges),
+	}
+	for v := 0; v < b.n; v++ {
+		seg := b.adj[v]
+		start := len(g.nbrs)
+		g.nbrs = append(g.nbrs, seg...)
+		pack := g.nbrs[start:]
+		sort.Slice(pack, func(i, j int) bool { return pack[i].AS < pack[j].AS })
+		g.off[v+1] = int32(len(g.nbrs))
+		for _, nb := range pack {
 			switch nb.Rel {
 			case Customer:
 				g.pcLinks++ // counted once, from the provider side
@@ -279,7 +345,7 @@ func (g *Graph) findPCCycle() bool {
 	n := g.N()
 	indeg := make([]int, n) // number of providers
 	for v := 0; v < n; v++ {
-		for _, nb := range g.adj[v] {
+		for _, nb := range g.Neighbors(v) {
 			if nb.Rel == Provider {
 				indeg[v]++
 			}
@@ -296,7 +362,7 @@ func (g *Graph) findPCCycle() bool {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		seen++
-		for _, nb := range g.adj[v] {
+		for _, nb := range g.Neighbors(v) {
 			if nb.Rel == Customer {
 				indeg[nb.AS]--
 				if indeg[nb.AS] == 0 {
@@ -322,7 +388,7 @@ func (g *Graph) Connected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, nb := range g.adj[v] {
+		for _, nb := range g.Neighbors(v) {
 			if !visited[nb.AS] {
 				visited[nb.AS] = true
 				count++

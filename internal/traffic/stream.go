@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Stream produces flows one at a time in arrival order. It is the
+// bounded-memory interface behind the slice generators: a paper-scale run
+// pulls millions of flows through the simulator without materializing the
+// whole workload, while Uniform/PowerLaw are Collect over the same
+// streams — so the two APIs are draw-for-draw identical by construction
+// (and TestStreamMatchesSlice pins it).
+type Stream interface {
+	// Next returns the next flow, or ok=false when the stream is exhausted.
+	Next() (Flow, bool)
+}
+
+// Collect drains s into a slice. Only call on bounded streams.
+func Collect(s Stream) []Flow {
+	var out []Flow
+	for {
+		f, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, f)
+	}
+}
+
+type uniformStream struct {
+	n     int
+	limit int // <= 0 means unbounded
+	rate  float64
+	size  float64
+	rng   *rand.Rand
+	now   float64
+	i     int
+}
+
+// NewUniformStream returns a Stream over the uniform traffic matrix. A
+// non-positive cfg.Flows streams without bound (the batch Uniform treats
+// it as zero flows).
+func NewUniformStream(cfg UniformConfig) (Stream, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 ASes, got %d", cfg.N)
+	}
+	rate, size := cfg.ArrivalRate, cfg.SizeBits
+	if rate <= 0 {
+		rate = DefaultArrivalRate
+	}
+	if size <= 0 {
+		size = DefaultFlowSizeBits
+	}
+	return &uniformStream{
+		n:     cfg.N,
+		limit: cfg.Flows,
+		rate:  rate,
+		size:  size,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+func (s *uniformStream) Next() (Flow, bool) {
+	if s.limit > 0 && s.i >= s.limit {
+		return Flow{}, false
+	}
+	s.now += s.rng.ExpFloat64() / s.rate
+	src := s.rng.Intn(s.n)
+	dst := s.rng.Intn(s.n - 1)
+	if dst >= src {
+		dst++
+	}
+	f := Flow{ID: s.i, Src: src, Dst: dst, SizeBits: s.size, Arrival: s.now}
+	s.i++
+	return f, true
+}
+
+type powerLawStream struct {
+	providers []int
+	consumers []int
+	cum       []float64
+	total     float64
+	limit     int
+	rate      float64
+	size      float64
+	rng       *rand.Rand
+	now       float64
+	i         int
+}
+
+// NewPowerLawStream returns a Stream over the Zipf traffic matrix. A
+// non-positive cfg.Flows streams without bound.
+func NewPowerLawStream(cfg PowerLawConfig) (Stream, error) {
+	if len(cfg.Providers) == 0 || len(cfg.Consumers) == 0 {
+		return nil, fmt.Errorf("traffic: need providers and consumers, got %d/%d",
+			len(cfg.Providers), len(cfg.Consumers))
+	}
+	if cfg.Alpha <= 0 {
+		return nil, fmt.Errorf("traffic: alpha must be positive, got %v", cfg.Alpha)
+	}
+	rate, size := cfg.ArrivalRate, cfg.SizeBits
+	if rate <= 0 {
+		rate = DefaultArrivalRate
+	}
+	if size <= 0 {
+		size = DefaultFlowSizeBits
+	}
+	// Cumulative Zipf weights over provider ranks (1-indexed).
+	cum := make([]float64, len(cfg.Providers))
+	total := 0.0
+	for i := range cfg.Providers {
+		total += math.Pow(float64(i+1), -cfg.Alpha)
+		cum[i] = total
+	}
+	return &powerLawStream{
+		providers: cfg.Providers,
+		consumers: cfg.Consumers,
+		cum:       cum,
+		total:     total,
+		limit:     cfg.Flows,
+		rate:      rate,
+		size:      size,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+func (s *powerLawStream) Next() (Flow, bool) {
+	if s.limit > 0 && s.i >= s.limit {
+		return Flow{}, false
+	}
+	s.now += s.rng.ExpFloat64() / s.rate
+	u := s.rng.Float64() * s.total
+	rank := sort.SearchFloat64s(s.cum, u)
+	if rank >= len(s.providers) {
+		rank = len(s.providers) - 1
+	}
+	src := s.providers[rank]
+	dst := s.consumers[s.rng.Intn(len(s.consumers))]
+	for dst == src {
+		dst = s.consumers[s.rng.Intn(len(s.consumers))]
+	}
+	f := Flow{ID: s.i, Src: src, Dst: dst, SizeBits: s.size, Arrival: s.now}
+	s.i++
+	return f, true
+}

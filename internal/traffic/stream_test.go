@@ -1,0 +1,81 @@
+package traffic
+
+import "testing"
+
+func TestStreamMatchesSlice(t *testing.T) {
+	ucfg := UniformConfig{N: 500, Flows: 2000, ArrivalRate: 50, Seed: 17}
+	want, err := Uniform(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := NewUniformStream(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(us)
+	if len(got) != len(want) {
+		t.Fatalf("uniform stream yielded %d flows, slice API %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("uniform flow %d: stream %+v != slice %+v", i, got[i], want[i])
+		}
+	}
+
+	providers := []int{3, 9, 27, 81}
+	consumers := []int{1, 2, 4, 5, 6, 7, 8}
+	pcfg := PowerLawConfig{Providers: providers, Consumers: consumers, Alpha: 1.0, Flows: 2000, Seed: 23}
+	wantP, err := PowerLaw(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPowerLawStream(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotP := Collect(ps)
+	if len(gotP) != len(wantP) {
+		t.Fatalf("powerlaw stream yielded %d flows, slice API %d", len(gotP), len(wantP))
+	}
+	for i := range gotP {
+		if gotP[i] != wantP[i] {
+			t.Fatalf("powerlaw flow %d: stream %+v != slice %+v", i, gotP[i], wantP[i])
+		}
+	}
+}
+
+func TestStreamUnbounded(t *testing.T) {
+	s, err := NewUniformStream(UniformConfig{N: 10, Flows: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i := 0; i < 100000; i++ {
+		f, ok := s.Next()
+		if !ok {
+			t.Fatalf("unbounded stream ended at flow %d", i)
+		}
+		if f.ID != i {
+			t.Fatalf("flow %d has ID %d", i, f.ID)
+		}
+		if f.Arrival <= prev {
+			t.Fatalf("arrivals not strictly increasing at flow %d", i)
+		}
+		prev = f.Arrival
+		if f.Src == f.Dst {
+			t.Fatalf("flow %d is a self-pair", i)
+		}
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := NewUniformStream(UniformConfig{N: 1}); err == nil {
+		t.Fatal("want error for N < 2")
+	}
+	if _, err := NewPowerLawStream(PowerLawConfig{Alpha: 1}); err == nil {
+		t.Fatal("want error for empty providers/consumers")
+	}
+	if _, err := NewPowerLawStream(PowerLawConfig{Providers: []int{1}, Consumers: []int{2}, Alpha: 0}); err == nil {
+		t.Fatal("want error for non-positive alpha")
+	}
+}

@@ -4,9 +4,6 @@
 package traffic
 
 import (
-	"fmt"
-	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/topo"
@@ -48,31 +45,18 @@ type UniformConfig struct {
 }
 
 // Uniform generates flows between uniformly random distinct AS pairs with
-// Poisson arrivals — the paper's "generic" traffic matrix.
+// Poisson arrivals — the paper's "generic" traffic matrix. It is Collect
+// over NewUniformStream: the streaming and batch forms are draw-for-draw
+// identical.
 func Uniform(cfg UniformConfig) ([]Flow, error) {
-	if cfg.N < 2 {
-		return nil, fmt.Errorf("traffic: need at least 2 ASes, got %d", cfg.N)
+	s, err := NewUniformStream(cfg)
+	if err != nil {
+		return nil, err
 	}
-	rate, size := cfg.ArrivalRate, cfg.SizeBits
-	if rate <= 0 {
-		rate = DefaultArrivalRate
+	if cfg.Flows <= 0 {
+		return []Flow{}, nil
 	}
-	if size <= 0 {
-		size = DefaultFlowSizeBits
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	flows := make([]Flow, cfg.Flows)
-	now := 0.0
-	for i := range flows {
-		now += rng.ExpFloat64() / rate
-		src := rng.Intn(cfg.N)
-		dst := rng.Intn(cfg.N - 1)
-		if dst >= src {
-			dst++
-		}
-		flows[i] = Flow{ID: i, Src: src, Dst: dst, SizeBits: size, Arrival: now}
-	}
-	return flows, nil
+	return Collect(s), nil
 }
 
 // PowerLawConfig parameterizes PowerLaw.
@@ -95,47 +79,18 @@ type PowerLawConfig struct {
 // PowerLaw generates flows whose sources follow a Zipf distribution over
 // the ranked content providers and whose destinations are uniform over the
 // consumers — the paper's "realistic" matrix where the higher a content
-// provider ranks, the more of its traffic is consumed.
+// provider ranks, the more of its traffic is consumed. It is Collect over
+// NewPowerLawStream: the streaming and batch forms are draw-for-draw
+// identical.
 func PowerLaw(cfg PowerLawConfig) ([]Flow, error) {
-	if len(cfg.Providers) == 0 || len(cfg.Consumers) == 0 {
-		return nil, fmt.Errorf("traffic: need providers and consumers, got %d/%d",
-			len(cfg.Providers), len(cfg.Consumers))
+	s, err := NewPowerLawStream(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Alpha <= 0 {
-		return nil, fmt.Errorf("traffic: alpha must be positive, got %v", cfg.Alpha)
+	if cfg.Flows <= 0 {
+		return []Flow{}, nil
 	}
-	rate, size := cfg.ArrivalRate, cfg.SizeBits
-	if rate <= 0 {
-		rate = DefaultArrivalRate
-	}
-	if size <= 0 {
-		size = DefaultFlowSizeBits
-	}
-	// Cumulative Zipf weights over provider ranks (1-indexed).
-	cum := make([]float64, len(cfg.Providers))
-	total := 0.0
-	for i := range cfg.Providers {
-		total += math.Pow(float64(i+1), -cfg.Alpha)
-		cum[i] = total
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	flows := make([]Flow, cfg.Flows)
-	now := 0.0
-	for i := range flows {
-		now += rng.ExpFloat64() / rate
-		u := rng.Float64() * total
-		rank := sort.SearchFloat64s(cum, u)
-		if rank >= len(cfg.Providers) {
-			rank = len(cfg.Providers) - 1
-		}
-		src := cfg.Providers[rank]
-		dst := cfg.Consumers[rng.Intn(len(cfg.Consumers))]
-		for dst == src {
-			dst = cfg.Consumers[rng.Intn(len(cfg.Consumers))]
-		}
-		flows[i] = Flow{ID: i, Src: src, Dst: dst, SizeBits: size, Arrival: now}
-	}
-	return flows, nil
+	return Collect(s), nil
 }
 
 // RankContentProviders returns up to count ASes ranked by the number of
