@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race audit-race fib-race span-race tsdb-race conv-smoke vet lint bench bench-json fuzz figures testbed results clean
+.PHONY: all build test race audit-race fib-race span-race tsdb-race conv-smoke vet lint lint-json bench bench-json fuzz figures testbed results clean
 
 all: build test
 
@@ -14,11 +14,20 @@ vet:
 
 # mifolint: the repository's own analyzer suite (internal/lint) — FIB
 # generation immutability, the //mifo:hotpath cost budget, obs metric and
-# span naming, lock-scope hygiene, and the shadow/unusedwrite/nilness/droppederr
-# sweeps. Standalone mode enables the whole-tree checks; the same binary
-# also runs as `go vet -vettool=$$(which mifo-lint) ./...`.
+# span naming, lock-scope hygiene, the //mifo:ring publish protocol
+# (ringorder), builder-published arena freezing (arenafreeze), goroutine
+# lifecycle ownership (lifecycle), and the
+# shadow/unusedwrite/nilness/droppederr sweeps. Standalone mode enables
+# the whole-tree checks; the same binary also runs as
+# `go vet -vettool=$$(which mifo-lint) ./...`. The driver reports its own
+# wall time on stderr.
 lint:
 	$(GO) run ./cmd/mifo-lint ./...
+
+# Machine-readable findings for CI: exit status is preserved, stdout is a
+# {file,line,col,analyzer,message} JSON array.
+lint-json:
+	$(GO) run ./cmd/mifo-lint -json ./...
 
 test: vet lint
 	$(GO) test ./...

@@ -1,18 +1,23 @@
 // Command mifo-lint runs the mifolint analyzer suite (internal/lint): the
 // static enforcement of the repository's concurrency and hot-path
 // contracts — generation immutability of the versioned FIB and LPM trie,
-// the //mifo:hotpath allocation/lock budget, obs metric naming, and
-// lock-scope hygiene — plus native ports of the non-default vet passes
-// shadow, unusedwrite, nilness, and the dropped-error sweep.
+// the //mifo:hotpath allocation/lock budget, obs metric naming,
+// lock-scope hygiene, the //mifo:ring publish protocol (ringorder), the
+// builder-publish freeze of arena memory (arenafreeze), and goroutine
+// lifecycle ownership (lifecycle) — plus native ports of the non-default
+// vet passes shadow, unusedwrite, nilness, and the dropped-error sweep.
 //
 // Two modes:
 //
-//	mifo-lint [packages...]
+//	mifo-lint [-json|-github] [packages...]
 //
 // Standalone: loads the named packages (default ./...) with go/types
 // against build-cache export data and analyzes them in one run, which
 // enables the whole-tree checks (duplicate metric registration, the
-// transitive hot-path budget). Exits 1 when findings remain.
+// transitive hot-path budget, cross-package lifecycle and freeze facts).
+// Exits 1 when findings remain. -json emits the findings as a stable
+// {file,line,col,analyzer,message} array (the CI artifact); -github
+// renders them as GitHub Actions ::error annotations.
 //
 //	go vet -vettool=$(which mifo-lint) ./...
 //
@@ -32,9 +37,20 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
+
+// finding is the stable JSON shape of one diagnostic, consumed by the CI
+// lint step (and anything else that wants machine-readable findings).
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	// cmd/go probes vet tools with `tool -V=full` before every run; the
@@ -55,52 +71,79 @@ func main() {
 		os.Exit(unitMode(os.Args[len(os.Args)-1]))
 	}
 
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON objects {file,line,col,analyzer,message}")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	dir := flag.String("C", ".", "directory to run in (module root)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mifo-lint [-json] [-C dir] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: mifo-lint [-json] [-github] [-C dir] [packages...]\n\nAnalyzers:\n")
 		for _, a := range lint.Suite() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
+	start := time.Now()
 	pkgs, err := lint.Load(*dir, flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, lint.Suite())
-	if *jsonOut {
+
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, finding{
+			File:     relPath(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(findings); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-	} else {
-		for _, d := range diags {
-			fmt.Println(relativize(d.String()))
+	case *github:
+		for _, f := range findings {
+			fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n",
+				f.File, f.Line, f.Col, f.Analyzer, annotationEscape(f.Message))
+		}
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "mifo-lint: %d package(s), %d finding(s) in %s\n",
+		len(pkgs), len(diags), time.Since(start).Round(time.Millisecond))
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mifo-lint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
 }
 
-// relativize shortens absolute paths in a rendered diagnostic to the
-// current directory, keeping output clickable but compact.
-func relativize(s string) string {
+// relPath shortens an absolute path to the current directory, keeping
+// output clickable but compact (and stable for the JSON artifact).
+func relPath(file string) string {
 	wd, err := os.Getwd()
 	if err != nil {
-		return s
+		return file
 	}
-	if rel, err := filepath.Rel(wd, strings.SplitN(s, ":", 2)[0]); err == nil && !strings.HasPrefix(rel, "..") {
-		if i := strings.Index(s, ":"); i >= 0 {
-			return rel + s[i:]
-		}
+	if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
+	return file
+}
+
+// annotationEscape applies the GitHub Actions workflow-command escaping
+// to an annotation message.
+func annotationEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
 	return s
 }
 

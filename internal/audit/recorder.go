@@ -708,7 +708,7 @@ func (rec *Recorder) finish(j *journey, verdict, reason string) {
 		return
 	}
 	if rec.plain {
-		rec.sink.Encode(&j.rec) //mifolint:ignore droppederr the sink retains its first error; Close reports it
+		rec.sink.Encode(&j.rec)
 		rec.recycle(j)
 		return
 	}
@@ -751,14 +751,14 @@ func (rec *Recorder) sealBatch() {
 		j.rec.Batch = rec.batchNo
 		j.rec.Leaf = i
 		j.rec.Proof = proofHex(proofSteps(levels, i))
-		rec.sink.Encode(&j.rec) //mifolint:ignore droppederr the sink retains its first error; Close reports it
+		rec.sink.Encode(&j.rec)
 	}
 	sh := sealHash(rec.prevSeal, root, rec.batchNo, n)
 	seal := BatchSeal{
 		Kind: KindSeal, Batch: rec.batchNo, Records: n,
 		Root: hexHash(root), Prev: hexHash(rec.prevSeal), Seal: hexHash(sh),
 	}
-	rec.sink.Encode(&seal) //mifolint:ignore droppederr the sink retains its first error; Close reports it
+	rec.sink.Encode(&seal)
 	rec.prevSeal = sh
 	for _, j := range rec.batch {
 		rec.recycle(j)

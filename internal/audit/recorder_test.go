@@ -27,6 +27,7 @@ func TestRecorderPacketJourney(t *testing.T) {
 	var buf bytes.Buffer
 	reg := obs.NewRegistry()
 	rec := NewRecorder(Options{Writer: &buf, Registry: reg})
+	defer rec.Close()
 	hook := rec.RouterHook()
 
 	p := &dataplane.Packet{
@@ -83,6 +84,7 @@ func TestRecorderPacketJourney(t *testing.T) {
 func TestRecorderDetectsLoopAndCountsPerInvariant(t *testing.T) {
 	reg := obs.NewRegistry()
 	rec := NewRecorder(Options{Registry: reg})
+	defer rec.Close()
 	hook := rec.RouterHook()
 
 	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 9}, Dst: 9}
@@ -106,6 +108,7 @@ func TestRecorderDetectsLoopAndCountsPerInvariant(t *testing.T) {
 
 func TestRecorderTagDropJourney(t *testing.T) {
 	rec := NewRecorder(Options{})
+	defer rec.Close()
 	hook := rec.RouterHook()
 
 	p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 5}, Dst: 5}
@@ -159,6 +162,7 @@ func TestRecorderLostAndClose(t *testing.T) {
 
 func TestRecorderSampling(t *testing.T) {
 	rec := NewRecorder(Options{Sample: 0.25})
+	defer rec.Close()
 	kept := 0
 	const flows = 4096
 	for i := 0; i < flows; i++ {
@@ -174,10 +178,12 @@ func TestRecorderSampling(t *testing.T) {
 	// Sampling is per flow: every packet of a kept flow is captured, and
 	// unsampled flows never reach the inflight map.
 	all := NewRecorder(Options{Sample: 1})
+	defer all.Close()
 	if !all.Sampled(0) || !all.Sampled(^uint32(0)) {
 		t.Fatal("Sample=1 must record everything")
 	}
 	none := NewRecorder(Options{Sample: 0.0000001})
+	defer none.Close()
 	hook := none.RouterHook()
 	for i := 0; i < 64; i++ {
 		p := &dataplane.Packet{Flow: dataplane.FlowKey{SrcAddr: uint32(i), DstAddr: 1}, Dst: 1}
@@ -217,6 +223,7 @@ func TestRecordPathAndPathSteps(t *testing.T) {
 
 	var buf bytes.Buffer
 	rec := NewRecorder(Options{Writer: &buf})
+	defer rec.Close()
 	rec.RecordPath(PathRecord{Flow: 42, Dst: 4, BaselineLen: 4, Steps: steps})
 	if err := rec.Flush(); err != nil {
 		t.Fatal(err)
@@ -415,6 +422,7 @@ func TestRecorderHotPathZeroAlloc(t *testing.T) {
 
 func TestRecorderJourneyRecycling(t *testing.T) {
 	rec := NewRecorder(Options{})
+	defer rec.Close()
 	hook := rec.RouterHook()
 	for i := 0; i < 100; i++ {
 		p := &dataplane.Packet{Flow: dataplane.FlowKey{DstAddr: 1}, ID: uint16(i), Dst: 1}

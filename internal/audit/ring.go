@@ -61,6 +61,8 @@ type hopRec struct {
 // that hash to the same segment; the cursors carry the release/acquire
 // edge to the single consumer (the batcher), which never takes the
 // latch.
+//
+//mifo:ring payload=buf cursor=w read=r latch=latch
 type segment struct {
 	buf   []hopRec
 	mask  uint64

@@ -230,7 +230,7 @@ func (s *Sink) rotateLocked() {
 	for i := s.opt.Keep - 1; i >= 1; i-- {
 		from := fmt.Sprintf("%s.%d", s.path, i)
 		if _, err := os.Stat(from); err == nil {
-			os.Rename(from, fmt.Sprintf("%s.%d", s.path, i+1)) //mifolint:ignore droppederr best-effort shift of an old rotation; the fresh-file open below decides success
+			os.Rename(from, fmt.Sprintf("%s.%d", s.path, i+1))
 		}
 	}
 	if err := os.Rename(s.path, s.path+".1"); err != nil {

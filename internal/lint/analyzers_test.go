@@ -40,6 +40,18 @@ func TestDroppederr(t *testing.T) {
 	checkCorpus(t, "droppederr", Droppederr())
 }
 
+func TestRingorder(t *testing.T) {
+	checkCorpus(t, "ringorder", Ringorder())
+}
+
+func TestArenafreeze(t *testing.T) {
+	checkCorpus(t, "arenafreeze", Arenafreeze(DefaultArenafreezeConfig()))
+}
+
+func TestLifecycle(t *testing.T) {
+	checkCorpus(t, "lifecycle", Lifecycle())
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	checkCorpus(t, "ignores", Droppederr())
 }

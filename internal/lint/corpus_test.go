@@ -24,12 +24,19 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
 const corpusRoot = "testdata/src"
+
+// stdExportsCache memoizes `go list -export` across corpus loads: the
+// corpora share a handful of stdlib imports, and export-data paths are
+// stable for the life of the test process.
+var stdExportsCache sync.Map // sorted joined paths -> map[string]string
 
 // stdExports resolves export-data files for the given import paths (and
 // their dependencies) via `go list -export`, the same mechanism Load uses.
@@ -38,6 +45,12 @@ func stdExports(t *testing.T, paths []string) map[string]string {
 	exports := map[string]string{}
 	if len(paths) == 0 {
 		return exports
+	}
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	cacheKey := strings.Join(sorted, "\x00")
+	if cached, ok := stdExportsCache.Load(cacheKey); ok {
+		return cached.(map[string]string)
 	}
 	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export", "--"}, paths...)
 	cmd := exec.Command("go", args...)
@@ -59,6 +72,7 @@ func stdExports(t *testing.T, paths []string) map[string]string {
 			exports[p.ImportPath] = p.Export
 		}
 	}
+	stdExportsCache.Store(cacheKey, exports)
 	return exports
 }
 

@@ -24,13 +24,29 @@
 //     once per name across the tree.
 //   - locksafe: no sync.Mutex/RWMutex is held across a channel send, a
 //     generation Commit, or a blocking network/sleep call.
+//   - ringorder: //mifo:ring-annotated lock-free rings follow the publish
+//     protocol — payload writes happen-before the atomic cursor publish,
+//     readers acquire the cursor first and re-load it to discard lapped
+//     windows, role fields stay atomic and encapsulated.
+//   - arenafreeze: builder-published arena memory (topo.Graph CSR,
+//     bgp.Dest packed routes) is frozen after publish; interior slices
+//     handed out by accessors are provably read-only, transitively.
+//   - lifecycle: goroutine-spawning constructors expose a teardown, every
+//     Close/Stop/Shutdown of a goroutine-owning type reaches a drain
+//     barrier, and callers keep a path to the teardown.
+//
+// The last two resolve through the shared interprocedural layer in
+// callgraph.go: per-function dataflow facts collected into State at Run
+// time and closed transitively at Finish time.
 //
 // A finding can be suppressed — with a recorded justification — by a
 // directive on the offending line or the line above it:
 //
 //	//mifolint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// The reason is mandatory: an ignore without one is itself a finding.
+// The reason is mandatory: an ignore without one is itself a finding, and
+// a directive that no longer suppresses anything fails the repository's
+// ignore audit (TestIgnoreDirectivesJustified).
 package lint
 
 import (
@@ -62,6 +78,24 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// TestFiles holds the package's in-package _test.go files, type-checked
+	// together with Files into the same Types/TypesInfo. Most analyzers
+	// walk only Files (test code may legitimately poke internals); the
+	// lifecycle analyzer also walks TestFiles, because tests leaking
+	// goroutines poison every race run after them.
+	TestFiles []*ast.File
+}
+
+// AllFiles returns source and test files as one slice, for analyses that
+// must see call sites in tests too.
+func (p *Package) AllFiles() []*ast.File {
+	if len(p.TestFiles) == 0 {
+		return p.Files
+	}
+	all := make([]*ast.File, 0, len(p.Files)+len(p.TestFiles))
+	all = append(all, p.Files...)
+	all = append(all, p.TestFiles...)
+	return all
 }
 
 // NewInfo returns a types.Info with every map analyzers rely on populated.
@@ -131,23 +165,32 @@ const IgnoreDirective = "//mifolint:ignore"
 // HotpathDirective marks a function as hot-path in its doc comment.
 const HotpathDirective = "//mifo:hotpath"
 
+// RingDirective marks a struct type as a lock-free ring in its doc
+// comment, declaring the field roles ringorder enforces:
+//
+//	//mifo:ring payload=<f>[,<f>...] cursor=<f> [read=<f>] [latch=<f>] [init=<func>[,<func>...]]
+const RingDirective = "//mifo:ring"
+
 // ignoreRule is one parsed ignore directive.
 type ignoreRule struct {
 	analyzers map[string]bool
 	line      int  // line the directive appears on
 	hasReason bool // directives must say why
+	used      bool // set when the directive suppresses a finding
+	pos       token.Position
 }
 
 // ignoreIndex maps filename -> parsed directives.
-type ignoreIndex map[string][]ignoreRule
+type ignoreIndex map[string][]*ignoreRule
 
-// buildIgnoreIndex parses every //mifolint:ignore directive in pkgs.
-// Directives without a reason are reported immediately: a silent
+// buildIgnoreIndex parses every //mifolint:ignore directive in pkgs
+// (test files included — an ignore there must justify itself the same
+// way). Directives without a reason are reported immediately: a silent
 // suppression defeats the point of recording why a contract is waived.
 func buildIgnoreIndex(pkgs []*Package, report func(Diagnostic)) ignoreIndex {
 	idx := ignoreIndex{}
 	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range pkg.AllFiles() {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					if !strings.HasPrefix(c.Text, IgnoreDirective) {
@@ -156,7 +199,7 @@ func buildIgnoreIndex(pkgs []*Package, report func(Diagnostic)) ignoreIndex {
 					rest := strings.TrimPrefix(c.Text, IgnoreDirective)
 					fields := strings.Fields(rest)
 					pos := pkg.Fset.Position(c.Pos())
-					rule := ignoreRule{analyzers: map[string]bool{}, line: pos.Line}
+					rule := &ignoreRule{analyzers: map[string]bool{}, line: pos.Line, pos: pos}
 					if len(fields) > 0 {
 						for _, name := range strings.Split(fields[0], ",") {
 							rule.analyzers[name] = true
@@ -180,20 +223,39 @@ func buildIgnoreIndex(pkgs []*Package, report func(Diagnostic)) ignoreIndex {
 }
 
 // suppressed reports whether d is covered by a directive on its own line
-// or the line immediately above.
+// or the line immediately above, marking the matching directive used.
 func (idx ignoreIndex) suppressed(d Diagnostic) bool {
+	hit := false
 	for _, r := range idx[d.Pos.Filename] {
 		if (r.line == d.Pos.Line || r.line == d.Pos.Line-1) && r.analyzers[d.Analyzer] {
-			return true
+			r.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// UnusedIgnore is a well-formed //mifolint:ignore directive that did not
+// suppress anything in the run — the finding it once justified is gone,
+// so the waiver (and its stale reason) should go too.
+type UnusedIgnore struct {
+	Pos       token.Position
+	Analyzers []string
 }
 
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by position. Suppression directives are honored; a
 // malformed directive is itself a finding.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunWithIgnoreAudit(pkgs, analyzers)
+	return diags
+}
+
+// RunWithIgnoreAudit is Run plus a report of ignore directives that
+// suppressed nothing. Plain Run (and vet's per-package unit mode, which
+// never sees the whole tree) must not enforce unused-ignore hygiene —
+// only the repository-wide test does.
+func RunWithIgnoreAudit(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedIgnore) {
 	var mu sync.Mutex
 	var all []Diagnostic
 	report := func(d Diagnostic) {
@@ -232,7 +294,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	var unused []UnusedIgnore
+	for _, rules := range idx {
+		for _, r := range rules {
+			if r.used {
+				continue
+			}
+			var names []string
+			for n := range r.analyzers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			unused = append(unused, UnusedIgnore{Pos: r.pos, Analyzers: names})
+		}
+	}
+	sort.Slice(unused, func(i, j int) bool {
+		a, b := unused[i], unused[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return kept, unused
 }
 
 // Suite returns the default mifolint analyzer set, in reporting order.
@@ -246,6 +329,9 @@ func Suite() []*Analyzer {
 		Unusedwrite(),
 		Nilness(),
 		Droppederr(),
+		Ringorder(),
+		Arenafreeze(DefaultArenafreezeConfig()),
+		Lifecycle(),
 	}
 }
 

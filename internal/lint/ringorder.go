@@ -1,0 +1,495 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ringorder enforces the publish protocol of the repository's hand-rolled
+// lock-free rings (the audit recorder's segments, the span tracer's
+// segments, the tsdb sample and bucket rings). A ring type declares its
+// field roles in its doc comment:
+//
+//	//mifo:ring payload=<f>[,<f>...] cursor=<f> [read=<f>] [latch=<f>] [init=<func>[,<func>...]]
+//
+// payload names the slot storage; cursor is the write cursor whose atomic
+// store is the release edge that publishes slots; read, when present, is
+// a separate consumer cursor (SPSC rings); latch is a producer CAS latch.
+// Within every function of the declaring package (tests included) the
+// analyzer then checks, in source order:
+//
+//   - writer ordering: every payload slot write must be followed by a
+//     cursor publish (atomic Store/Add/Swap/CAS) in the same function —
+//     a write after the last publish is visible to readers before its
+//     bytes are, the exact torn-read bug the protocol exists to prevent;
+//   - reader acquire: a payload slot read must be preceded by an atomic
+//     cursor load — reading slots without the acquire edge reads bytes
+//     the cursor has not yet ordered;
+//   - torn-read discard: in overwriting rings (no read role) the cursor
+//     must be re-loaded after the last payload read so the caller can
+//     discard the window the writer may have lapped (the Raw/Tier/Latest
+//     discipline in internal/obs/tsdb);
+//   - consumer ordering: the read cursor may only be advanced after the
+//     last payload read — storing it first licenses producers to
+//     overwrite the very slots being consumed;
+//   - atomicity and encapsulation: cursor/read/latch fields are touched
+//     only through atomic method calls, payload fields only through
+//     element access (index, len/cap, range) — aliasing the slice or
+//     reassigning a role field outside the construction path defeats
+//     every ordering guarantee.
+//
+// Construction is exempt: the methods named in init=, the type's init
+// method, and new<Type>/New<Type> constructors run before the ring is
+// shared. Role fields are expected to be unexported, so every access the
+// protocol governs is in the declaring package — cross-package accesses
+// to exported ring internals are outside this analyzer's reach.
+
+// ringSpec is one parsed //mifo:ring directive.
+type ringSpec struct {
+	typeName string
+	pos      token.Pos
+	payload  map[string]bool
+	cursor   string
+	read     string // "" for overwriting rings
+	latch    string
+	initFns  map[string]bool // extra construction funcKeys
+}
+
+// roleOf classifies a field name under the spec.
+func (r *ringSpec) roleOf(field string) string {
+	switch {
+	case r.payload[field]:
+		return "payload"
+	case field == r.cursor:
+		return "cursor"
+	case r.read != "" && field == r.read:
+		return "read"
+	case r.latch != "" && field == r.latch:
+		return "latch"
+	}
+	return ""
+}
+
+// isConstruction reports whether key (funcKey form "Recv.Name" or "Name")
+// is part of the ring's construction path.
+func (r *ringSpec) isConstruction(key string) bool {
+	if r.initFns[key] {
+		return true
+	}
+	if key == r.typeName+".init" {
+		return true
+	}
+	// new<Type> / New<Type> free functions, first letter either case.
+	if strings.EqualFold(key, "new"+r.typeName) {
+		return true
+	}
+	return false
+}
+
+// atomicWriteMethods publish; Load acquires.
+var atomicWriteMethods = map[string]bool{
+	"Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "And": true, "Or": true,
+}
+
+// ringEvent is one role-field access inside a function, in source order.
+type ringEvent struct {
+	role string // payload | cursor | read | latch
+	kind string // write | read | pub | load | readpub | readload | latchop | bad
+	msg  string // for kind == "bad"
+	pos  token.Pos
+}
+
+// Ringorder returns the ring publish-protocol analyzer.
+func Ringorder() *Analyzer {
+	a := &Analyzer{
+		Name: "ringorder",
+		Doc:  "//mifo:ring types: payload writes happen-before the cursor publish, readers acquire the cursor and discard torn windows, ring fields stay atomic and encapsulated",
+	}
+	a.Run = runRingorder
+	return a
+}
+
+func runRingorder(pass *Pass) {
+	specs := parseRingDirectives(pass)
+	if len(specs) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.AllFiles() {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRingFunc(pass, specs, fd)
+		}
+	}
+}
+
+// parseRingDirectives scans the package's type declarations for
+// //mifo:ring and validates the declared roles against the struct.
+func parseRingDirectives(pass *Pass) map[string]*ringSpec {
+	specs := map[string]*ringSpec{}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				tspec, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := tspec.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if doc == nil {
+					continue
+				}
+				for _, c := range doc.List {
+					if !strings.HasPrefix(c.Text, RingDirective) {
+						continue
+					}
+					spec := parseRingSpec(pass, tspec, c)
+					if spec != nil {
+						specs[spec.typeName] = spec
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+func parseRingSpec(pass *Pass, tspec *ast.TypeSpec, c *ast.Comment) *ringSpec {
+	malformed := func(why string) *ringSpec {
+		pass.Reportf(c.Pos(), "malformed //mifo:ring directive on %s: %s (want payload=<f>[,<f>] cursor=<f> [read=<f>] [latch=<f>] [init=<func>,...])",
+			tspec.Name.Name, why)
+		return nil
+	}
+	st, ok := tspec.Type.(*ast.StructType)
+	if !ok {
+		return malformed("not a struct type")
+	}
+	fields := map[string]bool{}
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			fields[n.Name] = true
+		}
+	}
+	spec := &ringSpec{
+		typeName: tspec.Name.Name,
+		pos:      c.Pos(),
+		payload:  map[string]bool{},
+		initFns:  map[string]bool{},
+	}
+	for _, kv := range strings.Fields(strings.TrimPrefix(c.Text, RingDirective)) {
+		key, val, found := strings.Cut(kv, "=")
+		if !found || val == "" {
+			return malformed("bad clause " + kv)
+		}
+		switch key {
+		case "payload":
+			for _, f := range strings.Split(val, ",") {
+				if !fields[f] {
+					return malformed("payload field " + f + " not in struct")
+				}
+				spec.payload[f] = true
+			}
+		case "cursor", "read", "latch":
+			if !fields[val] {
+				return malformed(key + " field " + val + " not in struct")
+			}
+			switch key {
+			case "cursor":
+				spec.cursor = val
+			case "read":
+				spec.read = val
+			case "latch":
+				spec.latch = val
+			}
+		case "init":
+			for _, f := range strings.Split(val, ",") {
+				spec.initFns[f] = true
+			}
+		default:
+			return malformed("unknown clause " + key)
+		}
+	}
+	if len(spec.payload) == 0 || spec.cursor == "" {
+		return malformed("payload= and cursor= are required")
+	}
+	return spec
+}
+
+// checkRingFunc collects the role accesses in one function and applies
+// the ordering rules per ring type.
+func checkRingFunc(pass *Pass, specs map[string]*ringSpec, fd *ast.FuncDecl) {
+	info := pass.Pkg.TypesInfo
+	key := funcKey(fd)
+
+	// Parent links for context classification.
+	parent := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parent[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	// ringTypeOf resolves an expression to an annotated ring spec.
+	ringTypeOf := func(e ast.Expr) *ringSpec {
+		tv, ok := info.Types[e]
+		if !ok {
+			return nil
+		}
+		n, ok := namedType(tv.Type)
+		if !ok {
+			return nil
+		}
+		obj := n.Obj()
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pass.Pkg.PkgPath {
+			return nil
+		}
+		return specs[obj.Name()]
+	}
+
+	events := map[*ringSpec][]ringEvent{}
+	add := func(spec *ringSpec, ev ringEvent) {
+		events[spec] = append(events[spec], ev)
+	}
+
+	// assignedIn reports whether sel (or an index into it) is a target of
+	// stmt's Lhs.
+	inLhsOf := func(n ast.Node) bool {
+		p := parent[n]
+		as, ok := p.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, l := range as.Lhs {
+			if l == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	// atomicMethodOn classifies sel.<m>() call contexts: returns the
+	// method name when parent is a SelectorExpr being called.
+	atomicMethodOn := func(n ast.Node) string {
+		p, ok := parent[n].(*ast.SelectorExpr)
+		if !ok || p.X != n {
+			return ""
+		}
+		call, ok := parent[p].(*ast.CallExpr)
+		if !ok || call.Fun != p {
+			return ""
+		}
+		name := p.Sel.Name
+		if name == "Load" || atomicWriteMethods[name] {
+			return name
+		}
+		return ""
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		spec := ringTypeOf(sel.X)
+		if spec == nil {
+			return true
+		}
+		role := spec.roleOf(sel.Sel.Name)
+		if role == "" {
+			return true
+		}
+		pos := sel.Pos()
+		switch role {
+		case "payload":
+			add(spec, classifyPayload(sel, parent, inLhsOf, atomicMethodOn))
+		case "cursor", "read", "latch":
+			if m := atomicMethodOn(sel); m != "" {
+				kind := "load"
+				if atomicWriteMethods[m] {
+					kind = "pub"
+				}
+				if role == "read" {
+					kind = "read" + kind
+				}
+				if role == "latch" {
+					kind = "latchop"
+				}
+				add(spec, ringEvent{role: role, kind: kind, pos: pos})
+				break
+			}
+			if inLhsOf(sel) {
+				add(spec, ringEvent{role: role, kind: "bad", pos: pos,
+					msg: "ring " + role + " field " + spec.typeName + "." + sel.Sel.Name + " reassigned outside construction: cursors are atomic and initialized once"})
+				break
+			}
+			add(spec, ringEvent{role: role, kind: "bad", pos: pos,
+				msg: "ring " + role + " field " + spec.typeName + "." + sel.Sel.Name + " accessed non-atomically: every touch must be an atomic method call"})
+		}
+		return true
+	})
+
+	for spec, evs := range events {
+		if spec.isConstruction(key) {
+			continue
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		applyRingRules(pass, spec, key, evs)
+	}
+}
+
+// classifyPayload decides what one payload-field access does.
+func classifyPayload(sel *ast.SelectorExpr, parent map[ast.Node]ast.Node,
+	inLhsOf func(ast.Node) bool, atomicMethodOn func(ast.Node) string) ringEvent {
+
+	pos := sel.Pos()
+	name := sel.Sel.Name
+	switch p := parent[sel].(type) {
+	case *ast.IndexExpr:
+		if p.X != sel {
+			break
+		}
+		// Element access: the slot may itself be an atomic cell.
+		if m := atomicMethodOn(p); m != "" {
+			if atomicWriteMethods[m] {
+				return ringEvent{role: "payload", kind: "write", pos: pos}
+			}
+			return ringEvent{role: "payload", kind: "read", pos: pos}
+		}
+		if inLhsOf(p) {
+			return ringEvent{role: "payload", kind: "write", pos: pos}
+		}
+		if inc, ok := parent[p].(*ast.IncDecStmt); ok && inc.X == p {
+			return ringEvent{role: "payload", kind: "write", pos: pos}
+		}
+		// &buf[i] hands the slot out (in-place consumption): a read for
+		// ordering purposes.
+		return ringEvent{role: "payload", kind: "read", pos: pos}
+	case *ast.CallExpr:
+		if id, ok := p.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			return ringEvent{role: "payload", kind: "neutral", pos: pos}
+		}
+	case *ast.RangeStmt:
+		if p.X == sel {
+			if p.Value == nil {
+				return ringEvent{role: "payload", kind: "neutral", pos: pos}
+			}
+			return ringEvent{role: "payload", kind: "read", pos: pos}
+		}
+	case *ast.AssignStmt:
+		if inLhsOf(sel) {
+			return ringEvent{role: "payload", kind: "bad", pos: pos,
+				msg: "ring payload field " + name + " reassigned outside construction: the slot storage is fixed once the ring is shared"}
+		}
+	}
+	return ringEvent{role: "payload", kind: "bad", pos: pos,
+		msg: "ring payload field " + name + " aliased or escapes: slots may only be touched by element access so the cursor protocol governs every byte"}
+}
+
+// applyRingRules applies the ordering rules to one function's accesses of
+// one ring type.
+func applyRingRules(pass *Pass, spec *ringSpec, fnKey string, evs []ringEvent) {
+	var writes, reads, pubs, loads, readpubs []ringEvent
+	for _, ev := range evs {
+		if ev.kind == "bad" {
+			pass.Reportf(ev.pos, "%s", ev.msg)
+			continue
+		}
+		switch ev.role + "/" + ev.kind {
+		case "payload/write":
+			writes = append(writes, ev)
+		case "payload/read":
+			reads = append(reads, ev)
+		case "cursor/pub":
+			pubs = append(pubs, ev)
+		case "cursor/load":
+			loads = append(loads, ev)
+		case "read/readpub":
+			readpubs = append(readpubs, ev)
+		}
+	}
+
+	// Writer ordering: every slot write happens-before a cursor publish.
+	for _, w := range writes {
+		published := false
+		for _, p := range pubs {
+			if p.pos > w.pos {
+				published = true
+				break
+			}
+		}
+		if published {
+			continue
+		}
+		afterPub := false
+		for _, p := range pubs {
+			if p.pos < w.pos {
+				afterPub = true
+				break
+			}
+		}
+		if afterPub {
+			pass.Reportf(w.pos, "%s payload written after the cursor publish: readers already see this slot, so the write races their copy", spec.typeName)
+		} else {
+			pass.Reportf(w.pos, "%s payload written but the cursor is never published in %s: slots are invisible (or stale) to readers without the atomic cursor store", spec.typeName, fnKey)
+		}
+	}
+
+	if len(reads) > 0 {
+		// Reader acquire: a cursor load must precede the first read.
+		first := reads[0]
+		acquired := false
+		for _, l := range loads {
+			if l.pos < first.pos {
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			pass.Reportf(first.pos, "%s payload read without an atomic cursor load first: the cursor acquire is the only edge that orders slot bytes", spec.typeName)
+		}
+		last := reads[len(reads)-1]
+		if spec.read == "" {
+			// Overwriting ring: re-load the cursor and discard the lapped
+			// window.
+			reloaded := false
+			for _, l := range loads {
+				if l.pos > last.pos {
+					reloaded = true
+					break
+				}
+			}
+			if !reloaded {
+				pass.Reportf(last.pos, "%s has no read cursor, so readers must re-load the cursor after copying payload and discard the window the writer may have lapped (torn-read discard)", spec.typeName)
+			}
+		}
+	}
+
+	// Consumer ordering: advancing the read cursor licenses producers to
+	// overwrite — it must come after the last payload read.
+	for _, rp := range readpubs {
+		for _, r := range reads {
+			if r.pos > rp.pos {
+				pass.Reportf(rp.pos, "%s read cursor advanced before payload slots are consumed: producers may overwrite the slots still being read", spec.typeName)
+				break
+			}
+		}
+	}
+}

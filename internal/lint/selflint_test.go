@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -21,5 +22,27 @@ func TestRepositoryLintsClean(t *testing.T) {
 	}
 	for _, d := range Run(pkgs, Suite()) {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestIgnoreDirectivesJustified audits every //mifolint:ignore directive
+// in the tree. Malformed directives (no analyzer list, no reason) are
+// findings already and fail TestRepositoryLintsClean; this test closes
+// the other gap: a well-formed directive that no longer suppresses
+// anything. The finding it once justified is gone — keeping the waiver
+// (and its stale reason) around silently licenses the next regression on
+// that line, so it must be deleted instead.
+func TestIgnoreDirectivesJustified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint is not a -short test")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	_, unused := RunWithIgnoreAudit(pkgs, Suite())
+	for _, u := range unused {
+		t.Errorf("%s:%d: unused //mifolint:ignore %s: no finding is suppressed here anymore; delete the stale waiver",
+			u.Pos.Filename, u.Pos.Line, strings.Join(u.Analyzers, ","))
 	}
 }

@@ -1,0 +1,95 @@
+// Package consumer exercises every interior-slice verdict against the
+// frozen topo arena.
+package consumer
+
+import "arenafreeze/internal/topo"
+
+// Sum ranges over the interior slice: reading is fine.
+func Sum(g *topo.Graph, v int) int32 {
+	var s int32
+	for _, nb := range g.Neighbors(v) {
+		s += nb.AS
+	}
+	return s
+}
+
+// First indexes for reading through a local: fine.
+func First(g *topo.Graph, v int) topo.Neighbor {
+	list := g.Neighbors(v)
+	if len(list) == 0 {
+		return topo.Neighbor{}
+	}
+	return list[0]
+}
+
+// Max passes the slice to a helper that provably only reads it: fine.
+func Max(g *topo.Graph, v int) int32 {
+	list := g.Neighbors(v)
+	return maxAS(list)
+}
+
+func maxAS(nbrs []topo.Neighbor) int32 {
+	var m int32
+	for _, nb := range nbrs {
+		if nb.AS > m {
+			m = nb.AS
+		}
+	}
+	return m
+}
+
+// Scrub writes an element through the interior slice.
+func Scrub(g *topo.Graph, v int) {
+	list := g.Neighbors(v) // want `an element is written through the interior slice`
+	for i := range list {
+		list[i].Rel = 0
+	}
+}
+
+// Grow appends through the interior slice: spare capacity belongs to the
+// next arena segment.
+func Grow(g *topo.Graph, v int, nb topo.Neighbor) {
+	list := g.Neighbors(v) // want `append writes through the interior slice`
+	grown := append(list, nb)
+	use(grown)
+}
+
+func use(nbrs []topo.Neighbor) {
+	for range nbrs {
+	}
+}
+
+// Leak returns the interior slice to an unchecked caller.
+func Leak(g *topo.Graph, v int) []topo.Neighbor {
+	list := g.Neighbors(v) // want `returned to an unchecked caller`
+	return list
+}
+
+// Reset hands the slice to a helper that writes it: flagged transitively.
+func Reset(g *topo.Graph, v int) {
+	list := g.Neighbors(v) // want `cannot prove read-only`
+	zero(list)
+}
+
+func zero(nbrs []topo.Neighbor) {
+	for i := range nbrs {
+		nbrs[i] = topo.Neighbor{}
+	}
+}
+
+// Deep goes through one more hop before the write: still flagged.
+func Deep(g *topo.Graph, v int) {
+	list := g.Neighbors(v) // want `cannot prove read-only`
+	scrubVia(list)
+}
+
+func scrubVia(nbrs []topo.Neighbor) {
+	zero(nbrs)
+}
+
+// Owner mutates deliberately, with a recorded waiver.
+func Owner(g *topo.Graph, v int) {
+	//mifolint:ignore arenafreeze corpus case: waiver with a recorded reason is honored
+	list := g.Neighbors(v)
+	list[0].Rel = 1
+}

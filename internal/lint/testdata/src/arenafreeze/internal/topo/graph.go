@@ -1,0 +1,54 @@
+// Package topo is a miniature of the CSR arena the real topology package
+// publishes: a Builder packs adjacency into two flat arrays, and the
+// published Graph is frozen from that moment on.
+package topo
+
+// Neighbor is one adjacency entry.
+type Neighbor struct {
+	AS  int32
+	Rel int8
+}
+
+// Graph is the frozen CSR arena.
+type Graph struct {
+	off  []int32
+	nbrs []Neighbor
+}
+
+// Builder accumulates adjacency before the pack.
+type Builder struct {
+	n   int
+	adj [][]Neighbor
+}
+
+// NewBuilder sizes the builder for n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, adj: make([][]Neighbor, n)}
+}
+
+// Add records one edge.
+func (b *Builder) Add(v int, nb Neighbor) {
+	b.adj[v] = append(b.adj[v], nb)
+}
+
+// Build packs and publishes: the only sanctioned write path.
+func (b *Builder) Build() *Graph {
+	g := &Graph{off: make([]int32, b.n+1)}
+	for v := 0; v < b.n; v++ {
+		g.nbrs = append(g.nbrs, b.adj[v]...)
+		g.off[v+1] = int32(len(g.nbrs))
+	}
+	return g
+}
+
+// Neighbors hands out an interior slice of the arena; callers must not
+// modify it.
+func (g *Graph) Neighbors(v int) []Neighbor {
+	return g.nbrs[g.off[v]:g.off[v+1]]
+}
+
+// Compact mutates the arena after publish.
+func (g *Graph) Compact() {
+	g.nbrs = g.nbrs[:0] // want `write to frozen Graph.nbrs`
+	g.off[0]++          // want `write to frozen Graph.off`
+}

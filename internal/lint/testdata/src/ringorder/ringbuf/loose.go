@@ -1,0 +1,25 @@
+package ringbuf
+
+// loose declares ring roles on plain words: every touch of the cursor is
+// non-atomic and flagged.
+//
+//mifo:ring payload=slots cursor=n
+type loose struct {
+	slots []uint64
+	n     uint64
+}
+
+func (l *loose) bump() {
+	l.n++ // want `accessed non-atomically`
+}
+
+func (l *loose) put(v uint64) {
+	l.slots[0] = v // want `cursor is never published`
+}
+
+// badspec names a payload field the struct does not have.
+//
+//mifo:ring payload=nope cursor=w // want `malformed //mifo:ring directive`
+type badspec struct {
+	w uint64
+}

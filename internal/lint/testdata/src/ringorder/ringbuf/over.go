@@ -1,0 +1,49 @@
+package ringbuf
+
+import "sync/atomic"
+
+// over is an overwriting sample ring with no read cursor — the
+// internal/obs/tsdb shape. Readers must re-load the cursor after copying
+// and discard the window the writer may have lapped.
+//
+//mifo:ring payload=ts cursor=cur init=over.reset
+type over struct {
+	mask uint64
+	ts   []atomic.Int64
+	cur  atomic.Uint64
+}
+
+// reset is named in init= and may assign role fields.
+func (o *over) reset(n int) {
+	o.ts = make([]atomic.Int64, n)
+	o.mask = uint64(n - 1)
+}
+
+// sample is the correct writer: slot store, then cursor publish.
+func (o *over) sample(v int64) {
+	i := o.cur.Load()
+	o.ts[i&o.mask].Store(v)
+	o.cur.Store(i + 1)
+}
+
+// snapshot copies the window, then re-loads the cursor so the caller can
+// discard lapped slots.
+func (o *over) snapshot(buf []int64) ([]int64, uint64) {
+	end := o.cur.Load()
+	out := buf[:0]
+	for i := uint64(0); i < end; i++ {
+		out = append(out, o.ts[i&o.mask].Load())
+	}
+	return out, o.cur.Load()
+}
+
+// snapshotTorn copies without re-checking the cursor: a lapped writer
+// hands the caller a half-overwritten window — the pre-fix torn-read bug.
+func (o *over) snapshotTorn(buf []int64) []int64 {
+	end := o.cur.Load()
+	out := buf[:0]
+	for i := uint64(0); i < end; i++ {
+		out = append(out, o.ts[i&o.mask].Load()) // want `torn-read discard`
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+// Package ringbuf exercises the ringorder analyzer: an SPSC ring with a
+// read cursor, an overwriting sample ring, and a ring with non-atomic
+// cursors.
+package ringbuf
+
+import (
+	"sync/atomic"
+)
+
+// ring is a correct SPSC ring: slots land before the write cursor
+// publishes them, the consumer advances its cursor only after draining.
+//
+//mifo:ring payload=buf cursor=w read=r latch=latch
+type ring struct {
+	buf   []uint64
+	mask  uint64
+	latch atomic.Uint32
+	w     atomic.Uint64
+	r     atomic.Uint64
+}
+
+// newRing is construction: role-field assignment is exempt here.
+func newRing(capacity int) *ring {
+	s := &ring{}
+	s.buf = make([]uint64, capacity)
+	s.mask = uint64(capacity - 1)
+	return s
+}
+
+func (s *ring) lock() bool { return s.latch.CompareAndSwap(0, 1) }
+func (s *ring) unlock()    { s.latch.Store(0) }
+
+// push is the correct writer: slot store, then cursor publish.
+func (s *ring) push(v uint64) {
+	w := s.w.Load()
+	s.buf[w&s.mask] = v
+	s.w.Store(w + 1)
+}
+
+// pushTorn publishes before the slot bytes land — the torn-write shape
+// the protocol exists to prevent.
+func (s *ring) pushTorn(v uint64) {
+	w := s.w.Load()
+	s.w.Store(w + 1)
+	s.buf[w&s.mask] = v // want `payload written after the cursor publish`
+}
+
+// pushUnpublished stores a slot no reader will ever be shown.
+func (s *ring) pushUnpublished(v uint64) {
+	w := s.w.Load()
+	s.buf[w&s.mask] = v // want `cursor is never published`
+}
+
+// pushIgnored is the same torn write with a recorded waiver.
+func (s *ring) pushIgnored(v uint64) {
+	w := s.w.Load()
+	s.w.Store(w + 1)
+	//mifolint:ignore ringorder corpus case: waiver with a recorded reason is honored
+	s.buf[w&s.mask] = v
+}
+
+// drain is the correct consumer: acquire both cursors, consume, then
+// advance the read cursor.
+func (s *ring) drain(fn func(uint64)) {
+	r := s.r.Load()
+	w := s.w.Load()
+	for i := r; i != w; i++ {
+		fn(s.buf[i&s.mask])
+	}
+	s.r.Store(w)
+}
+
+// drainEager advances the read cursor before consuming: producers may
+// overwrite the slots still being read.
+func (s *ring) drainEager(fn func(uint64)) {
+	r := s.r.Load()
+	w := s.w.Load()
+	s.r.Store(w) // want `read cursor advanced before payload slots are consumed`
+	for i := r; i != w; i++ {
+		fn(s.buf[i&s.mask])
+	}
+}
+
+// peek reads a slot without the cursor acquire edge.
+func (s *ring) peek(i uint64) uint64 {
+	return s.buf[i&s.mask] // want `payload read without an atomic cursor load first`
+}
+
+// alias hands the slot storage out, defeating the cursor protocol.
+func (s *ring) alias() []uint64 {
+	return s.buf // want `aliased or escapes`
+}
+
+// grow swaps the slot storage outside construction.
+func (s *ring) grow() {
+	s.buf = make([]uint64, 2*len(s.buf)) // want `reassigned outside construction`
+}

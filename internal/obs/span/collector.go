@@ -225,7 +225,7 @@ func (t *Tracer) process(rec *Record) {
 		h.Observe(rec.Duration().Seconds())
 	}
 	if t.sink != nil {
-		t.sink.Encode(rec) //mifolint:ignore droppederr the sink retains its first error; Close reports it
+		t.sink.Encode(rec)
 	}
 }
 

@@ -20,6 +20,8 @@ import (
 // that hash to the same segment; the cursors carry the release/acquire
 // edge to the single consumer (the collector), which never takes the
 // latch.
+//
+//mifo:ring payload=buf cursor=w read=r latch=latch
 type segment struct {
 	buf   []Record
 	mask  uint64

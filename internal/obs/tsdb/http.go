@@ -170,11 +170,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //mifolint:ignore droppederr best-effort HTTP response; the client sees the truncation
+	enc.Encode(v)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //mifolint:ignore droppederr best-effort HTTP error body
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

@@ -230,6 +230,8 @@ func joinKey(values []string) string {
 // Series is one fixed-memory time series: a raw point ring and two
 // downsampled bucket tiers. Exactly one goroutine may call Sample; any
 // number may snapshot or query concurrently.
+//
+//mifo:ring payload=ts,val cursor=cur init=newSeries
 type Series struct {
 	name   string
 	labels []string
@@ -289,6 +291,8 @@ func (s *Series) Sample(ts int64, v float64) {
 // partial accumulator for the bucket being built. The sealed-bucket
 // fields (last*) hand a completed bucket to the next tier without
 // re-reading the atomics.
+//
+//mifo:ring payload=start,end,minB,maxB,sumB,cntB cursor=cur
 type tier struct {
 	mask  uint64
 	start []atomic.Int64
